@@ -1,0 +1,64 @@
+// Command recycle-bench regenerates every table and figure of the paper's
+// evaluation (§6) and prints the reports — the data behind EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"recycle/internal/experiments"
+)
+
+func main() {
+	fig13 := flag.Bool("fig13", false, "include the (slow) planner-latency heat map")
+	flag.Parse()
+
+	g, err := experiments.Gallery()
+	check(err)
+	fmt.Printf("Figs 3/5/6 (running example, slots): fault-free %d | adaptive(naive, Fig 3b) + deadline-scheduled | decoupled %d | staggered steady period %d vs fault-free period %d\n\n",
+		g.FaultFree, g.Decoupled, g.StaggeredPeriod, g.FaultFreePeriod)
+	_ = g.AdaptiveCoupled
+
+	_, t1, err := experiments.Table1()
+	check(err)
+	fmt.Println(t1)
+
+	_, t2, err := experiments.Table2()
+	check(err)
+	fmt.Println(t2)
+
+	_, f9, err := experiments.Fig9()
+	check(err)
+	fmt.Println(f9)
+
+	_, f10, err := experiments.Fig10()
+	check(err)
+	fmt.Println(f10)
+
+	_, f11, err := experiments.Fig11()
+	check(err)
+	fmt.Println(f11)
+
+	_, f12, err := experiments.Fig12()
+	check(err)
+	fmt.Println(f12)
+
+	if *fig13 {
+		_, f13, err := experiments.Fig13([]int{2, 4, 8, 16, 32, 64}, []int{2, 4, 8, 16, 32})
+		check(err)
+		fmt.Println(f13)
+	} else {
+		_, f13, err := experiments.Fig13([]int{2, 8, 32}, []int{2, 8})
+		check(err)
+		fmt.Println(f13)
+		fmt.Println("(run with -fig13 for the full 6x5 grid)")
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

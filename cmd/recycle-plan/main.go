@@ -1,0 +1,67 @@
+// Command recycle-plan generates and prints adaptive pipeline schedules:
+// the offline Planner phase of Fig 8. It plans for a configurable number
+// of simultaneous failures on a chosen GPT-3 job and reports the failure
+// normalization, steady-state period, throughput and planning latency;
+// with -render it draws the schedule Gantt chart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"recycle/internal/config"
+	"recycle/internal/core"
+	"recycle/internal/profile"
+	"recycle/internal/schedule"
+)
+
+func main() {
+	model := flag.String("model", "medium", "model preset: medium | 3.35b | 6.7b")
+	failures := flag.Int("failures", 1, "simultaneous worker failures to plan for")
+	render := flag.Bool("render", false, "draw the adapted schedule (small jobs only)")
+	flag.Parse()
+
+	var job config.Job
+	switch *model {
+	case "medium":
+		job = config.Table1Jobs()[0]
+	case "3.35b":
+		job = config.Table1Jobs()[1]
+	case "6.7b":
+		job = config.Table1Jobs()[2]
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	stats, err := profile.Analytic(job)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profile:", err)
+		os.Exit(1)
+	}
+	planner := core.New(job, stats)
+	ff, err := planner.PlanFor(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plan:", err)
+		os.Exit(1)
+	}
+	plan, err := planner.PlanFor(*failures)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plan:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s  PP=%d DP=%d  micro-batches/pipeline=%d\n",
+		job.Model.Name, job.Parallel.PP, job.Parallel.DP, job.Batch.MicroBatchesPerPipeline(job.Parallel))
+	fmt.Printf("failures=%d  normalized per-stage assignment=%v\n", plan.Failures, plan.Assignment)
+	fmt.Printf("normalized failed workers: %v\n", plan.Failed)
+	fmt.Printf("fault-free iteration: %.1f ms   adapted: %.1f ms   (%.1f%% overhead)\n",
+		planner.IterationSeconds(ff)*1e3, planner.IterationSeconds(plan)*1e3,
+		(float64(plan.PeriodSlots)/float64(ff.PeriodSlots)-1)*100)
+	fmt.Printf("throughput: fault-free %.2f samples/s -> adapted %.2f samples/s\n",
+		planner.ThroughputSamplesPerSec(ff), planner.ThroughputSamplesPerSec(plan))
+	fmt.Printf("planner latency: %s\n", plan.PlanTime)
+	if *render {
+		fmt.Println()
+		fmt.Println(schedule.Render(plan.Schedule, 5))
+	}
+}

@@ -1,0 +1,84 @@
+// Command recycle-sim runs the discrete-event training simulator (§6.3):
+// a fault-tolerant system (recycle | oobleck | bamboo | elastic | scaled)
+// is replayed against a failure workload (a monotonic failure frequency or
+// the GCP trace of Fig 9a) and the throughput timeline is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"recycle/internal/baselines"
+	"recycle/internal/config"
+	"recycle/internal/failure"
+	"recycle/internal/profile"
+	"recycle/internal/sim"
+)
+
+func main() {
+	model := flag.String("model", "medium", "model preset: medium | 3.35b | 6.7b")
+	system := flag.String("system", "recycle", "system: recycle | oobleck | bamboo | elastic | scaled")
+	freq := flag.Duration("freq", 30*time.Minute, "monotonic failure frequency")
+	gcp := flag.Bool("gcp", false, "replay the GCP availability trace instead")
+	horizon := flag.Duration("horizon", 6*time.Hour, "simulated duration")
+	flag.Parse()
+
+	jobs := map[string]config.Job{
+		"medium": config.Table1Jobs()[0],
+		"3.35b":  config.Table1Jobs()[1],
+		"6.7b":   config.Table1Jobs()[2],
+	}
+	job, ok := jobs[*model]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	stats, err := profile.Analytic(job)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rc := sim.NewReCycle(job, stats)
+	ff, err := rc.Throughput(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	common, err := baselines.NewCommon(job, stats, ff)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	systems := map[string]sim.System{
+		"recycle": rc,
+		"oobleck": baselines.Oobleck{C: common},
+		"bamboo":  baselines.Bamboo{C: common},
+		"elastic": baselines.Elastic{C: common},
+		"scaled":  baselines.FaultScaled{C: common},
+	}
+	sys, ok := systems[*system]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+	var tr failure.Trace
+	if *gcp {
+		tr = failure.GCP()
+	} else {
+		tr = failure.Monotonic(job.Parallel.Workers(), *freq, *horizon)
+	}
+	res := sim.Run(sys, tr, *horizon)
+	if res.OOM {
+		fmt.Printf("%s cannot train %s: %v\n", sys.Name(), job.Model.Name, res.Err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s on %s over %s (%s):\n", sys.Name(), job.Model.Name, *horizon, tr.Name)
+	fmt.Printf("%10s %10s %8s %14s %10s\n", "from", "to", "failed", "samples/s", "stall")
+	for _, p := range res.Timeline {
+		fmt.Printf("%10s %10s %8d %14.2f %10s\n",
+			p.Start.Round(time.Second), p.End.Round(time.Second), p.Failed, p.Throughput, p.Stall.Round(time.Millisecond))
+	}
+	fmt.Printf("\naverage throughput: %.2f samples/s (fault-free %.2f, ratio %.3f)\n", res.Average, ff, res.Average/ff)
+}

@@ -1,0 +1,73 @@
+// Live training: the paper's accuracy claim, demonstrated end to end.
+//
+// Two identical training runs execute side by side on real models (MLP
+// stages across DP x PP executor goroutines): a fault-free reference and a
+// run that loses two workers mid-training and gets one back. Because
+// Adaptive Pipelining reroutes micro-batches without changing the math and
+// the all-reduce sums gradient contributions in canonical order, every
+// iteration's loss — and the final weights — are bitwise identical.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"recycle/internal/dtrain"
+	"recycle/internal/schedule"
+	"recycle/internal/tensor"
+)
+
+func main() {
+	cfg := dtrain.Config{
+		DP: 3, PP: 4, MB: 6,
+		InDim: 10, Hidden: 20, OutDim: 5, MicroBatchSize: 6,
+		Seed: 1234, LR: 3e-3,
+	}
+	ref := dtrain.New(cfg)
+	adapted := dtrain.New(cfg)
+
+	w1 := schedule.Worker{Stage: 2, Pipeline: 1}
+	w2 := schedule.Worker{Stage: 0, Pipeline: 2}
+	const iters = 10
+	for i := 0; i < iters; i++ {
+		switch i {
+		case 2:
+			adapted.Fail(w1)
+			fmt.Printf("--- iteration %d: %s fails ---\n", i, w1)
+		case 4:
+			adapted.Fail(w2)
+			fmt.Printf("--- iteration %d: %s fails too (2 concurrent failures) ---\n", i, w2)
+		case 7:
+			if err := adapted.Rejoin(w1); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("--- iteration %d: %s re-joins ---\n", i, w1)
+		}
+		lr, err := ref.RunIteration()
+		if err != nil {
+			log.Fatal(err)
+		}
+		la, err := adapted.RunIteration()
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "bitwise equal"
+		if lr != la {
+			status = "MISMATCH"
+		}
+		fmt.Printf("iter %2d  loss %.16f  vs  %.16f   %s\n", i, lr, la, status)
+	}
+
+	// Final-weight check across every live replica of stage 0.
+	refP := ref.StageParams(schedule.Worker{Stage: 0, Pipeline: 0})
+	equal := true
+	for k := 0; k < cfg.DP; k++ {
+		p := adapted.StageParams(schedule.Worker{Stage: 0, Pipeline: k})
+		for i := range refP {
+			if !tensor.Equal(refP[i].W, p[i].W) {
+				equal = false
+			}
+		}
+	}
+	fmt.Printf("\nfinal weights across all replicas bitwise equal to fault-free run: %v\n", equal)
+}

@@ -1,0 +1,87 @@
+package baselines
+
+import "fmt"
+
+// Bamboo models the NSDI'23 redundant-computation system (§2.2.3): every
+// node hosts its own pipeline stage plus a replica of its neighbor's, and
+// runs the neighbor's forward pass (FRC) for every micro-batch even when
+// fault-free. Some of that redundant work hides in pipeline bubbles, but
+// in steady state it adds roughly one forward pass per micro-batch, and
+// the replica doubles the static memory footprint — which is what makes
+// Bamboo run out of memory for GPT-3 3.35B/6.7B in Table 1.
+type Bamboo struct{ C Common }
+
+// Name implements sim.System.
+func (s Bamboo) Name() string { return "Bamboo" }
+
+// MemoryBytes estimates Bamboo's per-node footprint: two full stage states
+// (own + neighbor replica, each with fp32 optimizer mirrors and gradient
+// accumulation buffers ≈ 20 B/param), their in-memory snapshots for fast
+// preemption recovery (Bamboo's spot-instance design keeps state copies to
+// survive 30-second eviction notices), and doubled in-flight activations.
+func (s Bamboo) MemoryBytes() int64 {
+	staticPerStage := s.C.Costs.StageParams * 20
+	act := s.C.Costs.ActBytesMB
+	pp := int64(s.C.Job.Parallel.PP)
+	return 4*staticPerStage + 2*pp*act
+}
+
+// ErrBambooOOM marks configurations whose redundant state exceeds memory.
+var ErrBambooOOM = fmt.Errorf("bamboo: redundant model state exceeds GPU memory")
+
+// Throughput implements sim.System.
+func (s Bamboo) Throughput(failed int) (float64, error) {
+	if s.MemoryBytes() > int64(float64(s.C.Stats.Memory.CapacityBytes)*0.95) {
+		return 0, fmt.Errorf("%w: need %d of %d bytes", ErrBambooOOM, s.MemoryBytes(), s.C.Stats.Memory.CapacityBytes)
+	}
+	dp, pp := s.C.Job.Parallel.DP, s.C.Job.Parallel.PP
+	mb := s.C.Job.Batch.MicroBatchesPerPipeline(s.C.Job.Parallel)
+	// Fault-free: one redundant forward per micro-batch per node, partially
+	// hidden in the (PP-1)*(F+B) bubbles.
+	redundant := float64(mb*int(s.C.Stats.TF)) - float64((pp-1))*float64(s.C.Stats.TF+s.C.Stats.TBInput+s.C.Stats.TBWeight)
+	if redundant < 0 {
+		redundant = 0
+	}
+	per := float64(s.C.Stats.TF + s.C.Stats.TBInput + s.C.Stats.TBWeight)
+	units := float64(pp-1)*per + float64(mb)*per + redundant + float64(s.C.Stats.TOpt)
+	iterFF := units * s.C.Stats.UnitSeconds
+	pipeThroughput := float64(s.C.Job.Batch.GlobalBatch/dp) / iterFF
+
+	// Failures: the backup node executes both stages, halving its pipeline's
+	// pace; Bamboo redistributes micro-batches by pipeline speed, so
+	// capacity is the sum of per-pipeline speeds. Failures land round-robin
+	// across pipelines.
+	if failed >= dp*pp {
+		return 0, nil
+	}
+	wounded := make([]int, dp)
+	for f := 0; f < failed; f++ {
+		wounded[f%dp]++
+	}
+	capacity := 0.0
+	for _, w := range wounded {
+		if w >= pp {
+			continue // pipeline fully lost
+		}
+		// A backup running two stages doubles the pipeline's bottleneck
+		// stage time; additional failures stack further stages onto
+		// survivors.
+		capacity += 1 / (1 + float64(w))
+	}
+	return pipeThroughput * capacity, nil
+}
+
+// ReconfigStall implements sim.System: promoting a backup is fast, but a
+// second failure in an already-wounded pipeline (adjacent failure) forces
+// a full restart from a checkpoint.
+func (s Bamboo) ReconfigStall(prev, next int) float64 {
+	if next <= prev {
+		return 15 // re-instantiating redundancy for the re-joined node
+	}
+	dp := s.C.Job.Parallel.DP
+	if next > dp {
+		// Some pipeline necessarily holds two failures: checkpoint restart.
+		return 120
+	}
+	return 5
+}

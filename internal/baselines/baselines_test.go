@@ -1,0 +1,154 @@
+package baselines
+
+import (
+	"testing"
+
+	"recycle/internal/config"
+	"recycle/internal/profile"
+)
+
+func commonFor(t *testing.T, job config.Job) Common {
+	t.Helper()
+	stats, err := profile.Analytic(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCommon(job, stats, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestBambooOOMPattern reproduces Table 1's memory result: Bamboo's
+// redundant state fits GPT-3 Medium but not 3.35B or 6.7B on A100-80GB.
+func TestBambooOOMPattern(t *testing.T) {
+	jobs := config.Table1Jobs()
+	for i, wantOOM := range []bool{false, true, true} {
+		b := Bamboo{C: commonFor(t, jobs[i])}
+		_, err := b.Throughput(0)
+		if wantOOM && err == nil {
+			t.Errorf("%s: Bamboo should OOM", jobs[i].Model.Name)
+		}
+		if !wantOOM && err != nil {
+			t.Errorf("%s: Bamboo should fit, got %v", jobs[i].Model.Name, err)
+		}
+	}
+}
+
+// TestBambooFaultFreeOverhead checks the redundant-computation tax: ~20-30%
+// below plain 1F1B when the redundant forwards exceed the bubbles (the
+// paper measures Bamboo at ~71% of fault-free for GPT-3 Medium).
+func TestBambooFaultFreeOverhead(t *testing.T) {
+	job := config.Table1Jobs()[0]
+	c := commonFor(t, job)
+	b := Bamboo{C: c}
+	thr, err := b.Throughput(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := job.Batch.MicroBatchesPerPipeline(job.Parallel)
+	ff := float64(job.Batch.GlobalBatch) / c.iterSeconds1F1B(job.Parallel.PP, mb, 1)
+	ratio := thr / ff
+	if !(ratio > 0.6 && ratio < 0.9) {
+		t.Fatalf("Bamboo fault-free at %.2f of plain 1F1B; want the 0.6-0.9 band (paper: ~0.71)", ratio)
+	}
+}
+
+// TestOobleckFaultFreeNoOverhead checks Oobleck matches fault-free when
+// healthy (its design point).
+func TestOobleckFaultFreeNoOverhead(t *testing.T) {
+	o := Oobleck{C: commonFor(t, config.Table1Jobs()[0])}
+	thr, err := o.Throughput(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr != 100 {
+		t.Fatalf("Oobleck fault-free throughput %.2f, want 100", thr)
+	}
+}
+
+// TestOobleckDegradesWithFailures checks heterogeneous-pipeline slowdown
+// below the fault-scaled line.
+func TestOobleckDegradesWithFailures(t *testing.T) {
+	c := commonFor(t, config.Table1Jobs()[2]) // 6.7B PP=8 DP=4
+	o := Oobleck{C: c}
+	total := c.Job.Parallel.Workers()
+	for f := 1; f <= 8; f++ {
+		thr, err := o.Throughput(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scaled := c.FaultFree * float64(total-f) / float64(total)
+		if thr > scaled+1e-9 {
+			t.Errorf("f=%d: Oobleck %.2f above fault-scaled %.2f", f, thr, scaled)
+		}
+		if thr <= 0 {
+			t.Errorf("f=%d: Oobleck throughput collapsed", f)
+		}
+	}
+}
+
+// TestOobleckTemplatesConserveNodes checks the shrink algorithm's
+// bookkeeping.
+func TestOobleckTemplatesConserveNodes(t *testing.T) {
+	o := Oobleck{C: commonFor(t, config.Table1Jobs()[1])} // PP=4 DP=8
+	for f := 0; f <= 12; f++ {
+		pipes, err := o.templates(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for _, n := range pipes {
+			if n < 1 || n > o.C.Job.Parallel.PP {
+				t.Fatalf("f=%d: template size %d out of range", f, n)
+			}
+			sum += n
+		}
+		if want := o.C.Job.Parallel.Workers() - f; sum != want {
+			t.Fatalf("f=%d: templates hold %d nodes, want %d", f, sum, want)
+		}
+	}
+}
+
+// TestElasticBlastRadius checks elastic batching's 1/DP-per-failure drop.
+func TestElasticBlastRadius(t *testing.T) {
+	c := commonFor(t, config.Table1Jobs()[0]) // DP=16
+	e := Elastic{C: c}
+	thr, err := e.Throughput(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 100 * 15.0 / 16.0; thr != want {
+		t.Fatalf("elastic with 1 failure = %.3f, want %.3f", thr, want)
+	}
+}
+
+// TestFaultScaledIsLinear checks the ideal line.
+func TestFaultScaledIsLinear(t *testing.T) {
+	c := commonFor(t, config.Table1Jobs()[0])
+	fs := FaultScaled{C: c}
+	for f := 0; f <= 32; f += 8 {
+		thr, err := fs.Throughput(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 100 * float64(32-f) / 32
+		if thr != want {
+			t.Fatalf("f=%d: %.3f, want %.3f", f, thr, want)
+		}
+	}
+}
+
+// TestReconfigStallOrdering checks ReCycle's claim: Oobleck's
+// reconfiguration (full pipeline) costs far more than Bamboo's backup
+// promotion for single failures.
+func TestReconfigStallOrdering(t *testing.T) {
+	c := commonFor(t, config.Table1Jobs()[2])
+	o := Oobleck{C: c}
+	b := Bamboo{C: c}
+	if o.ReconfigStall(0, 1) <= b.ReconfigStall(0, 1) {
+		t.Fatalf("Oobleck stall %.1fs should exceed Bamboo promotion %.1fs",
+			o.ReconfigStall(0, 1), b.ReconfigStall(0, 1))
+	}
+}

@@ -1,0 +1,151 @@
+package baselines
+
+import "fmt"
+
+// Oobleck models the SOSP'23 pipeline-template system (§2.2.3): fault-free
+// execution is plain 1F1B with zero overhead, but failures shrink
+// individual pipelines to smaller templates. Micro-batches are distributed
+// proportionally to each heterogeneous pipeline's compute power, yet the
+// slowest (smallest) pipeline plus integral micro-batch assignment leave an
+// imbalance penalty, and every failure or re-join triggers a full-pipeline
+// parameter reshuffle.
+type Oobleck struct {
+	C Common
+	// MinNodes is the smallest template (node count) that still fits the
+	// model in memory; derived from the memory model when zero.
+	MinNodes int
+}
+
+// Name implements sim.System.
+func (s Oobleck) Name() string { return "Oobleck" }
+
+// minNodes resolves the smallest usable template.
+func (s Oobleck) minNodes() int {
+	if s.MinNodes > 0 {
+		return s.MinNodes
+	}
+	// Static state scales ~1/n when the model is split over n nodes;
+	// find the smallest n where it fits in (90% of) device memory.
+	pp := s.C.Job.Parallel.PP
+	perStage := s.C.Costs.StageWeights // at PP stages
+	budget := int64(float64(s.C.Stats.Memory.CapacityBytes) * 0.9)
+	for n := 1; n <= pp; n++ {
+		if perStage*int64(pp)/int64(n) <= budget {
+			return n
+		}
+	}
+	return pp
+}
+
+// templates shrinks the fleet to n-f nodes: balanced node removal across
+// pipelines, dissolving pipelines that fall below the minimum template and
+// redistributing their survivors.
+func (s Oobleck) templates(failed int) ([]int, error) {
+	dp, pp := s.C.Job.Parallel.DP, s.C.Job.Parallel.PP
+	minN := s.minNodes()
+	pipes := make([]int, dp)
+	for i := range pipes {
+		pipes[i] = pp
+	}
+	for f := 0; f < failed; f++ {
+		// Remove from the currently largest pipeline (balanced shrink).
+		big := 0
+		for i, n := range pipes {
+			if n > pipes[big] {
+				big = i
+			}
+		}
+		pipes[big]--
+		if pipes[big] < minN {
+			// Dissolve: hand the survivors to the smallest other pipelines.
+			rem := pipes[big]
+			pipes = append(pipes[:big], pipes[big+1:]...)
+			for r := 0; r < rem && len(pipes) > 0; r++ {
+				small := 0
+				for i, n := range pipes {
+					if n < pipes[small] {
+						small = i
+					}
+				}
+				pipes[small]++
+			}
+		}
+		if len(pipes) == 0 {
+			return nil, fmt.Errorf("oobleck: no viable pipeline template for %d failures", f+1)
+		}
+	}
+	return pipes, nil
+}
+
+// Throughput implements sim.System.
+func (s Oobleck) Throughput(failed int) (float64, error) {
+	if failed == 0 {
+		return s.C.FaultFree, nil
+	}
+	pipes, err := s.templates(failed)
+	if err != nil {
+		return 0, err
+	}
+	pp := s.C.Job.Parallel.PP
+	globalMB := s.C.Job.Batch.GlobalBatch / s.C.Job.Batch.MicroBatch
+	// Distribute micro-batches proportionally to node counts (compute
+	// power), integral by largest remainder.
+	total := 0
+	for _, n := range pipes {
+		total += n
+	}
+	mbs := make([]int, len(pipes))
+	assigned := 0
+	type frac struct {
+		i int
+		f float64
+	}
+	fracs := make([]frac, len(pipes))
+	for i, n := range pipes {
+		exact := float64(globalMB) * float64(n) / float64(total)
+		mbs[i] = int(exact)
+		fracs[i] = frac{i, exact - float64(mbs[i])}
+		assigned += mbs[i]
+	}
+	for assigned < globalMB {
+		best := 0
+		for i := range fracs {
+			if fracs[i].f > fracs[best].f {
+				best = i
+			}
+		}
+		mbs[fracs[best].i]++
+		fracs[best].f = -1
+		assigned++
+	}
+	// Iteration latency = slowest pipeline (synchronous all-reduce). A
+	// shrunk template splits the model's layers over fewer nodes; layer
+	// assignment is integral, so the bottleneck stage holds ceil(L/n)
+	// layers — the quantization penalty that makes heterogeneous pipelines
+	// straggle (§2.2.3).
+	layers := s.C.Job.Model.Layers
+	worst := 0.0
+	for i, n := range pipes {
+		bottleneck := (layers + n - 1) / n
+		scale := float64(bottleneck) / (float64(layers) / float64(pp))
+		if t := s.C.iterSeconds1F1B(n, mbs[i], scale); t > worst {
+			worst = t
+		}
+	}
+	if worst <= 0 {
+		return 0, fmt.Errorf("oobleck: degenerate iteration latency")
+	}
+	return float64(s.C.Job.Batch.GlobalBatch) / worst, nil
+}
+
+// ReconfigStall implements sim.System: instantiating a new template
+// re-shuffles a whole pipeline's parameters across survivors (§2.2.3), far
+// heavier than ReCycle's single point-to-point copy.
+func (s Oobleck) ReconfigStall(prev, next int) float64 {
+	modelBytes := float64(s.C.Costs.StageWeights) * float64(s.C.Job.Parallel.PP)
+	copySec := modelBytes / s.C.Job.Hardware.InterLinkBytesPerSec
+	// Stop-the-world coordination: drain in-flight micro-batches, tear
+	// down and re-create communication groups, re-instantiate the
+	// template, then move parameters.
+	return 60 + copySec
+}

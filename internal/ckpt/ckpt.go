@@ -1,0 +1,79 @@
+// Package ckpt implements training-state checkpoints: the fallback path
+// ReCycle uses when an entire data-parallel group is lost (Fig 7a) and the
+// recovery source when failures are detected too late (§4.1). Snapshots
+// are gob-encoded and iteration-tagged.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Snapshot is one saved training state: parameter tensors by name plus the
+// iteration they correspond to.
+type Snapshot struct {
+	Iteration int
+	Params    map[string][]float64
+	OptState  map[string][]float64
+}
+
+// Save writes the snapshot to w.
+func Save(w io.Writer, s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("ckpt: nil snapshot")
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// Load reads a snapshot from r.
+func Load(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("ckpt: decode: %w", err)
+	}
+	return &s, nil
+}
+
+// SaveFile writes the snapshot atomically: to a temp file, then rename.
+func SaveFile(path string, s *Snapshot) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, s); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a snapshot from disk.
+func LoadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Equal reports whether two snapshots carry identical state.
+func Equal(a, b *Snapshot) bool {
+	if a.Iteration != b.Iteration || len(a.Params) != len(b.Params) {
+		return false
+	}
+	var bufA, bufB bytes.Buffer
+	if Save(&bufA, a) != nil || Save(&bufB, b) != nil {
+		return false
+	}
+	return bytes.Equal(bufA.Bytes(), bufB.Bytes())
+}

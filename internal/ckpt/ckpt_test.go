@@ -1,0 +1,52 @@
+package ckpt
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func sample() *Snapshot {
+	return &Snapshot{
+		Iteration: 42,
+		Params:    map[string][]float64{"w": {1, 2, 3}, "b": {0.5}},
+		OptState:  map[string][]float64{"w.m": {0.1, 0.2, 0.3}},
+	}
+}
+
+// TestRoundTrip checks encode/decode identity.
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, sample()) {
+		t.Fatal("snapshot changed across round trip")
+	}
+}
+
+// TestFileRoundTrip checks the atomic file path.
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.gob")
+	if err := SaveFile(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != 42 || got.Params["w"][2] != 3 {
+		t.Fatalf("loaded snapshot wrong: %+v", got)
+	}
+}
+
+// TestLoadGarbageFails checks error handling.
+func TestLoadGarbageFails(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

@@ -1,0 +1,124 @@
+// Package cluster tracks the live/failed state of a hybrid-parallel
+// training cluster at worker granularity (one worker = one tensor-parallel
+// server group, the unit of failure, §3.4). It provides the guarantee
+// checks of Fig 7 — whether adaptive pipelining can continue, or a
+// checkpoint fallback is required — and counts the parameter migrations
+// needed to normalize concrete failures into a planned layout.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"recycle/internal/schedule"
+)
+
+// State is the mutable cluster state machine.
+type State struct {
+	DP, PP int
+	failed map[schedule.Worker]bool
+	rng    *rand.Rand
+}
+
+// New returns a fully healthy cluster of DP x PP workers. The seed drives
+// the random selection of which concrete worker fails on FailRandom.
+func New(dp, pp int, seed int64) *State {
+	return &State{DP: dp, PP: pp, failed: make(map[schedule.Worker]bool), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Failed returns a copy of the failed-worker set.
+func (s *State) Failed() map[schedule.Worker]bool {
+	out := make(map[schedule.Worker]bool, len(s.failed))
+	for w := range s.failed {
+		out[w] = true
+	}
+	return out
+}
+
+// FailedCount returns the number of failed workers.
+func (s *State) FailedCount() int { return len(s.failed) }
+
+// Alive returns the number of live workers.
+func (s *State) Alive() int { return s.DP*s.PP - len(s.failed) }
+
+// Fail marks a specific worker failed.
+func (s *State) Fail(w schedule.Worker) error {
+	if w.Stage < 0 || w.Stage >= s.PP || w.Pipeline < 0 || w.Pipeline >= s.DP {
+		return fmt.Errorf("cluster: worker %s outside %dx%d cluster", w, s.DP, s.PP)
+	}
+	if s.failed[w] {
+		return fmt.Errorf("cluster: worker %s already failed", w)
+	}
+	s.failed[w] = true
+	return nil
+}
+
+// FailRandom fails n random live workers and returns them.
+func (s *State) FailRandom(n int) []schedule.Worker {
+	var live []schedule.Worker
+	for k := 0; k < s.DP; k++ {
+		for i := 0; i < s.PP; i++ {
+			w := schedule.Worker{Stage: i, Pipeline: k}
+			if !s.failed[w] {
+				live = append(live, w)
+			}
+		}
+	}
+	s.rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	if n > len(live) {
+		n = len(live)
+	}
+	picked := live[:n]
+	for _, w := range picked {
+		s.failed[w] = true
+	}
+	return picked
+}
+
+// Rejoin marks n failed workers repaired (most recent first is
+// indistinguishable; any n are revived) and returns them.
+func (s *State) Rejoin(n int) []schedule.Worker {
+	var back []schedule.Worker
+	for k := 0; k < s.DP && len(back) < n; k++ {
+		for i := 0; i < s.PP && len(back) < n; i++ {
+			w := schedule.Worker{Stage: i, Pipeline: k}
+			if s.failed[w] {
+				delete(s.failed, w)
+				back = append(back, w)
+			}
+		}
+	}
+	return back
+}
+
+// CanAdapt reports whether adaptive pipelining can continue: every
+// pipeline stage must retain at least one live data-parallel peer
+// (Fig 7b). When false, the job must restore from a checkpoint with a new
+// parallelization (Fig 7a).
+func (s *State) CanAdapt() bool {
+	for i := 0; i < s.PP; i++ {
+		liveAtStage := 0
+		for k := 0; k < s.DP; k++ {
+			if !s.failed[schedule.Worker{Stage: i, Pipeline: k}] {
+				liveAtStage++
+			}
+		}
+		if liveAtStage == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// GuaranteedTolerance returns the failure count ReCycle can always
+// tolerate regardless of placement: DP-1 (§3.4).
+func (s *State) GuaranteedTolerance() int { return s.DP - 1 }
+
+// StageFailureCounts returns how many workers are down per stage.
+func (s *State) StageFailureCounts() []int {
+	counts := make([]int, s.PP)
+	for w := range s.failed {
+		counts[w.Stage]++
+	}
+	return counts
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"recycle/internal/schedule"
+)
+
+// TestGuaranteedTolerance checks the §3.4 guarantee: any DP-1 failures
+// leave every stage with a live peer.
+func TestGuaranteedTolerance(t *testing.T) {
+	check := func(seed int64) bool {
+		s := New(4, 6, seed)
+		s.FailRandom(s.GuaranteedTolerance())
+		return s.CanAdapt()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFig7bScenario reproduces Fig 7b: 8 of 12 workers down, one live
+// worker per stage, training continues.
+func TestFig7bScenario(t *testing.T) {
+	s := New(3, 4, 1)
+	live := map[schedule.Worker]bool{
+		{Stage: 0, Pipeline: 0}: true,
+		{Stage: 1, Pipeline: 1}: true,
+		{Stage: 2, Pipeline: 2}: true,
+		{Stage: 3, Pipeline: 0}: true,
+	}
+	for k := 0; k < 3; k++ {
+		for i := 0; i < 4; i++ {
+			w := schedule.Worker{Stage: i, Pipeline: k}
+			if !live[w] {
+				if err := s.Fail(w); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if s.FailedCount() != 8 {
+		t.Fatalf("failed count %d, want 8", s.FailedCount())
+	}
+	if !s.CanAdapt() {
+		t.Fatal("Fig 7b cluster should still be adaptable")
+	}
+}
+
+// TestFig7aScenario reproduces Fig 7a: losing an entire peer group kills
+// adaptability.
+func TestFig7aScenario(t *testing.T) {
+	s := New(3, 4, 1)
+	for k := 0; k < 3; k++ {
+		if err := s.Fail(schedule.Worker{Stage: 1, Pipeline: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.CanAdapt() {
+		t.Fatal("cluster with a dead stage should not be adaptable")
+	}
+}
+
+// TestRejoinRestoresAdaptability checks fail/rejoin transitions.
+func TestRejoinRestoresAdaptability(t *testing.T) {
+	s := New(2, 2, 3)
+	if err := s.Fail(schedule.Worker{Stage: 0, Pipeline: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fail(schedule.Worker{Stage: 0, Pipeline: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.CanAdapt() {
+		t.Fatal("stage 0 fully dead")
+	}
+	if got := len(s.Rejoin(1)); got != 1 {
+		t.Fatalf("rejoined %d, want 1", got)
+	}
+	if !s.CanAdapt() {
+		t.Fatal("rejoin should restore adaptability")
+	}
+	if s.Alive() != 3 {
+		t.Fatalf("alive %d, want 3", s.Alive())
+	}
+}
+
+// TestDoubleFailRejected checks idempotence guards.
+func TestDoubleFailRejected(t *testing.T) {
+	s := New(2, 2, 0)
+	w := schedule.Worker{Stage: 1, Pipeline: 1}
+	if err := s.Fail(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fail(w); err == nil {
+		t.Fatal("double failure accepted")
+	}
+	if err := s.Fail(schedule.Worker{Stage: 9, Pipeline: 0}); err == nil {
+		t.Fatal("out-of-range worker accepted")
+	}
+}
+
+// TestStageFailureCounts checks the per-stage histogram used by
+// normalization.
+func TestStageFailureCounts(t *testing.T) {
+	s := New(4, 3, 0)
+	_ = s.Fail(schedule.Worker{Stage: 2, Pipeline: 0})
+	_ = s.Fail(schedule.Worker{Stage: 2, Pipeline: 3})
+	_ = s.Fail(schedule.Worker{Stage: 0, Pipeline: 1})
+	counts := s.StageFailureCounts()
+	if counts[0] != 1 || counts[1] != 0 || counts[2] != 2 {
+		t.Fatalf("stage failure counts %v", counts)
+	}
+}

@@ -1,0 +1,133 @@
+// Package config defines the static configuration shared by every ReCycle
+// subsystem: the hybrid-parallel job geometry (data / pipeline / tensor
+// parallelism and micro-batching), transformer model presets matching the
+// paper's GPT-3 workloads, and hardware presets describing an A100-class
+// training server.
+//
+// All other packages consume these types; none mutate them.
+package config
+
+import "fmt"
+
+// Parallelism describes the hybrid-parallel decomposition of a training job.
+// Following the paper (§2.1), tensor parallelism stays within a multi-GPU
+// server, so a "worker" in the rest of this repository is one pipeline stage
+// of one data-parallel pipeline (a TP group of GPUs acting as a failure
+// unit, §3.4).
+type Parallelism struct {
+	DP int // number of data-parallel pipelines
+	PP int // number of pipeline stages per pipeline
+	TP int // tensor-parallel degree inside each worker (informational)
+}
+
+// Workers returns the number of failure units (pipeline stage replicas) in
+// the job: DP × PP.
+func (p Parallelism) Workers() int { return p.DP * p.PP }
+
+// GPUs returns the total GPU count: DP × PP × TP.
+func (p Parallelism) GPUs() int { return p.DP * p.PP * p.TP }
+
+// Validate reports whether the parallelism degrees are all positive.
+func (p Parallelism) Validate() error {
+	if p.DP < 1 || p.PP < 1 || p.TP < 1 {
+		return fmt.Errorf("config: parallelism degrees must be >= 1, got DP=%d PP=%d TP=%d", p.DP, p.PP, p.TP)
+	}
+	return nil
+}
+
+// Batch describes the micro-batch geometry of one training iteration.
+type Batch struct {
+	GlobalBatch int // samples per iteration across the whole job
+	MicroBatch  int // samples per micro-batch
+}
+
+// MicroBatchesPerPipeline returns the number of micro-batches each
+// data-parallel pipeline processes per iteration in the fault-free case.
+func (b Batch) MicroBatchesPerPipeline(p Parallelism) int {
+	return b.GlobalBatch / (b.MicroBatch * p.DP)
+}
+
+// Validate checks that the global batch divides evenly into micro-batches
+// across the data-parallel pipelines.
+func (b Batch) Validate(p Parallelism) error {
+	if b.GlobalBatch <= 0 || b.MicroBatch <= 0 {
+		return fmt.Errorf("config: batch sizes must be positive, got global=%d micro=%d", b.GlobalBatch, b.MicroBatch)
+	}
+	if b.GlobalBatch%(b.MicroBatch*p.DP) != 0 {
+		return fmt.Errorf("config: global batch %d not divisible by micro-batch %d x DP %d", b.GlobalBatch, b.MicroBatch, p.DP)
+	}
+	if b.MicroBatchesPerPipeline(p) < p.PP {
+		return fmt.Errorf("config: %d micro-batches per pipeline < PP %d; 1F1B needs at least one per stage", b.MicroBatchesPerPipeline(p), p.PP)
+	}
+	return nil
+}
+
+// Model describes a decoder-only transformer in enough detail for the
+// analytic cost model (internal/model) to derive parameter counts, FLOPs
+// and activation sizes.
+type Model struct {
+	Name       string
+	Layers     int
+	Hidden     int
+	Heads      int
+	SeqLen     int
+	VocabSize  int
+	BytesParam int // bytes per parameter for weights/activations (2 = fp16/bf16)
+}
+
+// Hardware describes one training server (the unit of failure).
+type Hardware struct {
+	Name string
+	// FlopsPerSec is the achievable mixed-precision throughput of one
+	// worker (one TP group) after typical model FLOPs utilization.
+	FlopsPerSec float64
+	// MemBytes is the HBM capacity available to one worker.
+	MemBytes int64
+	// InterLinkBytesPerSec is the cross-server bandwidth used for
+	// pipeline activations/gradients and parameter migration.
+	InterLinkBytesPerSec float64
+	// IntraLinkBytesPerSec is the NVLink-class bandwidth inside a server.
+	IntraLinkBytesPerSec float64
+	// AllReduceLatency is the fixed software latency (seconds) added to
+	// each collective.
+	AllReduceLatency float64
+}
+
+// Job ties together everything the Planner and simulator need to reason
+// about one training run.
+type Job struct {
+	Model    Model
+	Parallel Parallelism
+	Batch    Batch
+	Hardware Hardware
+	// FaultToleranceThreshold is the largest simultaneous failure count
+	// the Planner precomputes plans for. Zero means DP-1 (the paper's
+	// default guarantee, §3.4).
+	FaultToleranceThreshold int
+}
+
+// MaxPlannedFailures resolves the fault-tolerance threshold: the explicit
+// value if set, otherwise DP-1.
+func (j Job) MaxPlannedFailures() int {
+	if j.FaultToleranceThreshold > 0 {
+		return j.FaultToleranceThreshold
+	}
+	return j.Parallel.DP - 1
+}
+
+// Validate checks the whole job configuration.
+func (j Job) Validate() error {
+	if err := j.Parallel.Validate(); err != nil {
+		return err
+	}
+	if err := j.Batch.Validate(j.Parallel); err != nil {
+		return err
+	}
+	if j.Model.Layers < j.Parallel.PP {
+		return fmt.Errorf("config: model %q has %d layers, fewer than PP=%d stages", j.Model.Name, j.Model.Layers, j.Parallel.PP)
+	}
+	if j.FaultToleranceThreshold < 0 {
+		return fmt.Errorf("config: negative fault tolerance threshold %d", j.FaultToleranceThreshold)
+	}
+	return nil
+}

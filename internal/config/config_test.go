@@ -1,0 +1,68 @@
+package config
+
+import "testing"
+
+// TestTable1JobsValid checks the §6.1 presets validate and match the
+// paper's (PP, DP) and batch geometry.
+func TestTable1JobsValid(t *testing.T) {
+	jobs := Table1Jobs()
+	want := []struct{ pp, dp, mbs int }{{2, 16, 64}, {4, 8, 128}, {8, 4, 256}}
+	for i, job := range jobs {
+		if err := job.Validate(); err != nil {
+			t.Fatalf("%s: %v", job.Model.Name, err)
+		}
+		if job.Parallel.PP != want[i].pp || job.Parallel.DP != want[i].dp {
+			t.Errorf("%s: (PP,DP)=(%d,%d), want (%d,%d)", job.Model.Name, job.Parallel.PP, job.Parallel.DP, want[i].pp, want[i].dp)
+		}
+		if got := job.Batch.MicroBatchesPerPipeline(job.Parallel); got != want[i].mbs {
+			t.Errorf("%s: %d micro-batches/pipeline, want %d", job.Model.Name, got, want[i].mbs)
+		}
+		if job.Parallel.Workers() != 32 {
+			t.Errorf("%s: %d workers, want 32", job.Model.Name, job.Parallel.Workers())
+		}
+	}
+}
+
+// TestFig10JobsValid checks the §6.3 scaling presets (256-1536 GPUs).
+func TestFig10JobsValid(t *testing.T) {
+	wantGPUs := []int{256, 512, 1024, 1536}
+	for i, job := range Fig10Jobs() {
+		if err := job.Validate(); err != nil {
+			t.Fatalf("%s: %v", job.Model.Name, err)
+		}
+		if got := job.Parallel.GPUs(); got != wantGPUs[i] {
+			t.Errorf("%s: %d GPUs, want %d", job.Model.Name, got, wantGPUs[i])
+		}
+	}
+}
+
+// TestValidationCatchesBadGeometry checks the guard rails.
+func TestValidationCatchesBadGeometry(t *testing.T) {
+	job := Table1Jobs()[0]
+	job.Batch.GlobalBatch = 100 // not divisible by micro*DP
+	if err := job.Validate(); err == nil {
+		t.Fatal("indivisible batch accepted")
+	}
+	job = Table1Jobs()[0]
+	job.Parallel.PP = 100 // more stages than layers
+	if err := job.Validate(); err == nil {
+		t.Fatal("PP > layers accepted")
+	}
+	job = Table1Jobs()[0]
+	job.Parallel.DP = 0
+	if err := job.Validate(); err == nil {
+		t.Fatal("zero DP accepted")
+	}
+}
+
+// TestMaxPlannedFailuresDefault checks the DP-1 default threshold.
+func TestMaxPlannedFailuresDefault(t *testing.T) {
+	job := Table1Jobs()[1] // DP=8
+	if got := job.MaxPlannedFailures(); got != 7 {
+		t.Fatalf("default threshold %d, want 7", got)
+	}
+	job.FaultToleranceThreshold = 12
+	if got := job.MaxPlannedFailures(); got != 12 {
+		t.Fatalf("explicit threshold %d, want 12", got)
+	}
+}

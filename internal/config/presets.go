@@ -1,0 +1,75 @@
+package config
+
+// GPT-3 family presets used throughout the paper's evaluation (§6.1 real
+// cluster runs and §6.3 simulated scaling). Architecture shapes follow the
+// GPT-3 paper / Megatron-LM conventions; parameter counts land near the
+// names (computed by model.Params).
+var (
+	// GPT3Medium is the 350M-parameter model from Table 1.
+	GPT3Medium = Model{Name: "GPT-3 Medium", Layers: 24, Hidden: 1024, Heads: 16, SeqLen: 2048, VocabSize: 51200, BytesParam: 2}
+	// GPT3XL is the 1.3B-parameter model (used in extension experiments).
+	GPT3XL = Model{Name: "GPT-3 XL", Layers: 24, Hidden: 2048, Heads: 16, SeqLen: 2048, VocabSize: 51200, BytesParam: 2}
+	// GPT3_3_35B is the 3.35B-parameter model from Table 1.
+	GPT3_3_35B = Model{Name: "GPT-3 3.35B", Layers: 30, Hidden: 3072, Heads: 24, SeqLen: 2048, VocabSize: 51200, BytesParam: 2}
+	// GPT3_6_7B is the 6.7B-parameter model from Table 1 and Figs 9c/12.
+	GPT3_6_7B = Model{Name: "GPT-3 6.7B", Layers: 32, Hidden: 4096, Heads: 32, SeqLen: 2048, VocabSize: 51200, BytesParam: 2}
+	// GPT3_18_4B .. GPT3_145_6B are the simulated scaling models (Fig 10).
+	GPT3_18_4B  = Model{Name: "GPT-3 18.4B", Layers: 40, Hidden: 6144, Heads: 48, SeqLen: 2048, VocabSize: 51200, BytesParam: 2}
+	GPT3_39_1B  = Model{Name: "GPT-3 39.1B", Layers: 48, Hidden: 8192, Heads: 64, SeqLen: 2048, VocabSize: 51200, BytesParam: 2}
+	GPT3_76_1B  = Model{Name: "GPT-3 76.1B", Layers: 60, Hidden: 10240, Heads: 80, SeqLen: 2048, VocabSize: 51200, BytesParam: 2}
+	GPT3_145_6B = Model{Name: "GPT-3 145.6B", Layers: 80, Hidden: 12288, Heads: 96, SeqLen: 2048, VocabSize: 51200, BytesParam: 2}
+)
+
+// A100x8 models one Standard_NC96ads_A100_v4-class server from the paper's
+// Azure cluster (§6.1): 8× A100-80GB, 600 GB/s NVLink, 640 Gbps inter-node.
+// FlopsPerSec is per failure unit (whole server, TP=8 inside) at a realistic
+// ~45% model FLOPs utilization of the 8×312 TFLOPS peak.
+var A100x8 = Hardware{
+	Name:                 "8xA100-80GB",
+	FlopsPerSec:          8 * 312e12 * 0.45,
+	MemBytes:             8 * 80 << 30,
+	InterLinkBytesPerSec: 640e9 / 8, // 640 Gbps -> bytes/s
+	IntraLinkBytesPerSec: 600e9,
+	AllReduceLatency:     25e-6,
+}
+
+// A100x1 models a single A100-80GB worker (TP=1), matching the Table 1 runs
+// where each failure unit is one GPU-equivalent worker.
+var A100x1 = Hardware{
+	Name:                 "1xA100-80GB",
+	FlopsPerSec:          312e12 * 0.45,
+	MemBytes:             80 << 30,
+	InterLinkBytesPerSec: 640e9 / 8 / 8,
+	IntraLinkBytesPerSec: 600e9,
+	AllReduceLatency:     25e-6,
+}
+
+// Table1Jobs returns the three real-cluster jobs from §6.1: GPT-3 Medium,
+// 3.35B and 6.7B on 32 workers with (PP,DP) = (2,16), (4,8), (8,4) and
+// batch/micro-batch (8192,8), (1024,1), (1024,1).
+func Table1Jobs() []Job {
+	return []Job{
+		{Model: GPT3Medium, Parallel: Parallelism{DP: 16, PP: 2, TP: 1}, Batch: Batch{GlobalBatch: 8192, MicroBatch: 8}, Hardware: A100x1},
+		{Model: GPT3_3_35B, Parallel: Parallelism{DP: 8, PP: 4, TP: 1}, Batch: Batch{GlobalBatch: 1024, MicroBatch: 1}, Hardware: A100x1},
+		{Model: GPT3_6_7B, Parallel: Parallelism{DP: 4, PP: 8, TP: 1}, Batch: Batch{GlobalBatch: 1024, MicroBatch: 1}, Hardware: A100x1},
+	}
+}
+
+// Fig10Jobs returns the four simulated scaling configurations from §6.3:
+// (256 GPUs, PP=8, DP=32), (512, 16, 32), (1024, 32, 32), (1536, 64, 24).
+func Fig10Jobs() []Job {
+	mk := func(m Model, pp, dp int) Job {
+		return Job{
+			Model:    m,
+			Parallel: Parallelism{DP: dp, PP: pp, TP: 1},
+			Batch:    Batch{GlobalBatch: 2048 * dp / 32, MicroBatch: 1},
+			Hardware: A100x8,
+		}
+	}
+	return []Job{
+		mk(GPT3_18_4B, 8, 32),
+		mk(GPT3_39_1B, 16, 32),
+		mk(GPT3_76_1B, 32, 32),
+		mk(GPT3_145_6B, 64, 24),
+	}
+}

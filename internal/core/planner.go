@@ -1,0 +1,166 @@
+// Package core implements ReCycle's primary contribution: the Planner
+// (§4.2). Given a training job configuration and profiled statistics, the
+// Planner precomputes an adaptive pipeline schedule for every tolerated
+// failure count. It runs in two phases:
+//
+//  1. Failure Normalization (§4.2.1, Algorithm 1): a dynamic program that
+//     decides how many failures to migrate to each pipeline stage so that
+//     rerouting overhead is minimized — avoiding a combinatorial solve per
+//     concrete failure location. Applying a plan to concrete failures then
+//     needs only a point-to-point parameter copy per failed worker.
+//  2. Adaptive Schedule Generation (§4.2.2): a makespan-minimizing solve
+//     (internal/solver) that integrates Adaptive Pipelining, Decoupled
+//     BackProp and the Staggered Optimizer under memory constraints.
+//
+// Plans are stored in a PlanStore (one per failure count) and fetched by
+// the runtime Coordinator when failures are detected.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"recycle/internal/config"
+	"recycle/internal/profile"
+	"recycle/internal/schedule"
+	"recycle/internal/solver"
+)
+
+// Techniques toggles the three ReCycle optimizations — the knobs of the
+// Fig 11 ablation. The zero value disables everything except basic
+// re-routing.
+type Techniques struct {
+	AdaptivePipelining bool // re-route micro-batches to data-parallel peers
+	DecoupledBackProp  bool // split backward into BInput + BWeight
+	StaggeredOptimizer bool // per-stage optimizer barriers
+}
+
+// AllTechniques is the full ReCycle configuration.
+var AllTechniques = Techniques{AdaptivePipelining: true, DecoupledBackProp: true, StaggeredOptimizer: true}
+
+// Plan is one precomputed adaptive schedule for a normalized failure count.
+type Plan struct {
+	Failures   int               // simultaneous worker failures this plan handles
+	Assignment []int             // failures per stage (Algorithm 1's A)
+	Failed     []schedule.Worker // the normalized failed-worker set
+	Schedule   *schedule.Schedule
+	// PeriodSlots is the steady-state iteration interval in duration units.
+	PeriodSlots int64
+	// PlanTime is how long the Planner spent generating this plan.
+	PlanTime time.Duration
+}
+
+// Planner generates and caches adaptive schedules for one job.
+type Planner struct {
+	Job        config.Job
+	Stats      profile.Stats
+	Techniques Techniques
+	// UnrollIterations controls the steady-state measurement window
+	// (>= 2; default 3).
+	UnrollIterations int
+}
+
+// New returns a Planner for the job with full ReCycle techniques.
+func New(job config.Job, stats profile.Stats) *Planner {
+	return &Planner{Job: job, Stats: stats, Techniques: AllTechniques, UnrollIterations: 3}
+}
+
+// shape derives the schedule shape from the job.
+func (p *Planner) shape() schedule.Shape {
+	iters := p.UnrollIterations
+	if iters < 2 {
+		iters = 3
+	}
+	return schedule.Shape{
+		DP:   p.Job.Parallel.DP,
+		PP:   p.Job.Parallel.PP,
+		MB:   p.Job.Batch.MicroBatchesPerPipeline(p.Job.Parallel),
+		Iter: iters,
+	}
+}
+
+// PlanFor generates the adaptive plan for the given number of simultaneous
+// failures. Failure locations are normalized (Algorithm 1), so one plan
+// serves any concrete failure set of that size.
+func (p *Planner) PlanFor(failures int) (*Plan, error) {
+	if failures < 0 {
+		return nil, fmt.Errorf("core: negative failure count %d", failures)
+	}
+	sh := p.shape()
+	if failures >= sh.DP*sh.PP {
+		return nil, fmt.Errorf("core: %d failures exceed the %d-worker job", failures, sh.DP*sh.PP)
+	}
+	start := time.Now()
+	assign, err := NormalizeFailures(sh.DP, sh.PP, sh.MB, failures)
+	if err != nil {
+		return nil, err
+	}
+	failed := AssignmentWorkers(assign, sh.DP)
+	failedSet := make(map[schedule.Worker]bool, len(failed))
+	for _, w := range failed {
+		failedSet[w] = true
+	}
+	in := solver.Input{
+		Shape:          sh,
+		Durations:      p.Stats.Durations(),
+		Failed:         failedSet,
+		MemCapPerStage: p.Stats.MemCapPerStage,
+		Decoupled:      p.Techniques.DecoupledBackProp,
+		Staggered:      p.Techniques.StaggeredOptimizer,
+		// Without Decoupled BackProp the execution engine lacks the split
+		// backward instructions, so rerouted work can only be inserted
+		// naively into the 1F1B skeleton (the Fig 3b behavior the Fig 11
+		// ablation measures as "Adaptive Pipelining" alone).
+		Naive: !p.Techniques.DecoupledBackProp,
+	}
+	if !p.Techniques.AdaptivePipelining && failures > 0 {
+		return nil, fmt.Errorf("core: %d failures but Adaptive Pipelining disabled — no recovery path without spares", failures)
+	}
+	s, err := solver.Solve(in)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Failures:    failures,
+		Assignment:  assign,
+		Failed:      failed,
+		Schedule:    s,
+		PeriodSlots: s.SteadyPeriod(),
+		PlanTime:    time.Since(start),
+	}, nil
+}
+
+// PlanAll precomputes plans for 0..maxFailures simultaneous failures (the
+// offline phase of Fig 8) and stores them in the given store. maxFailures
+// <= 0 selects the job's fault-tolerance threshold (default DP-1).
+func (p *Planner) PlanAll(store *PlanStore, maxFailures int) error {
+	if maxFailures <= 0 {
+		maxFailures = p.Job.MaxPlannedFailures()
+	}
+	for f := 0; f <= maxFailures; f++ {
+		plan, err := p.PlanFor(f)
+		if err != nil {
+			return fmt.Errorf("core: planning %d failures: %w", f, err)
+		}
+		if err := store.Put(plan); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IterationSeconds converts a plan's steady-state period into wall-clock
+// seconds using the profile's duration unit.
+func (p *Planner) IterationSeconds(plan *Plan) float64 {
+	return float64(plan.PeriodSlots) * p.Stats.UnitSeconds
+}
+
+// ThroughputSamplesPerSec returns the steady-state training throughput
+// under the plan: global batch size divided by iteration time.
+func (p *Planner) ThroughputSamplesPerSec(plan *Plan) float64 {
+	it := p.IterationSeconds(plan)
+	if it <= 0 {
+		return 0
+	}
+	return float64(p.Job.Batch.GlobalBatch) / it
+}

@@ -1,0 +1,101 @@
+package dtrain
+
+import (
+	"sync"
+	"time"
+
+	"recycle/internal/schedule"
+)
+
+// Detector is the heartbeat-based failure detector of §5: workers send
+// periodic heartbeats carrying health statistics to a central driver; the
+// driver marks a worker failed when heartbeats stop arriving within the
+// timeout, and invokes the registered callback (the Coordinator's
+// plan-switch path).
+type Detector struct {
+	Timeout time.Duration
+
+	mu       sync.Mutex
+	lastSeen map[schedule.Worker]time.Time
+	failed   map[schedule.Worker]bool
+	onFail   func(schedule.Worker)
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewDetector builds a detector; onFail runs once per detected failure.
+func NewDetector(timeout time.Duration, onFail func(schedule.Worker)) *Detector {
+	return &Detector{
+		Timeout:  timeout,
+		lastSeen: make(map[schedule.Worker]time.Time),
+		failed:   make(map[schedule.Worker]bool),
+		onFail:   onFail,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Heartbeat records a liveness signal from a worker. A heartbeat from a
+// previously failed worker does not automatically revive it — re-joins are
+// coordinated explicitly at iteration boundaries (§3.4).
+func (d *Detector) Heartbeat(w schedule.Worker) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lastSeen[w] = time.Now()
+}
+
+// Register begins tracking a worker (counts as an initial heartbeat).
+func (d *Detector) Register(w schedule.Worker) { d.Heartbeat(w) }
+
+// Failed reports whether the detector has marked the worker failed.
+func (d *Detector) Failed(w schedule.Worker) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failed[w]
+}
+
+// Start launches the sweep loop; Stop terminates it.
+func (d *Detector) Start(interval time.Duration) {
+	go func() {
+		defer close(d.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-tick.C:
+				d.sweep()
+			}
+		}
+	}()
+}
+
+// Stop shuts the sweep loop down.
+func (d *Detector) Stop() {
+	close(d.stop)
+	<-d.done
+}
+
+// sweep marks workers whose heartbeats have lapsed.
+func (d *Detector) sweep() {
+	now := time.Now()
+	var newly []schedule.Worker
+	d.mu.Lock()
+	for w, seen := range d.lastSeen {
+		if d.failed[w] {
+			continue
+		}
+		if now.Sub(seen) > d.Timeout {
+			d.failed[w] = true
+			newly = append(newly, w)
+		}
+	}
+	cb := d.onFail
+	d.mu.Unlock()
+	if cb != nil {
+		for _, w := range newly {
+			cb(w)
+		}
+	}
+}

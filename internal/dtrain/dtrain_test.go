@@ -1,0 +1,255 @@
+package dtrain
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"recycle/internal/schedule"
+	"recycle/internal/tensor"
+)
+
+func smallConfig() Config {
+	return Config{
+		DP: 3, PP: 4, MB: 6,
+		InDim: 8, Hidden: 16, OutDim: 4, MicroBatchSize: 5,
+		Seed: 42, LR: 1e-2,
+	}
+}
+
+// TestGradientEquivalenceUnderFailure is the paper's central accuracy
+// claim (§3.1, §5): adapted execution with rerouted micro-batches computes
+// exactly — bitwise — the gradients of fault-free execution.
+func TestGradientEquivalenceUnderFailure(t *testing.T) {
+	ref := New(smallConfig())
+	adapted := New(smallConfig())
+	victim := schedule.Worker{Stage: 2, Pipeline: 1}
+	for i := 0; i < 5; i++ {
+		if i == 2 {
+			adapted.Fail(victim)
+		}
+		lr, err := ref.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		la, err := adapted.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lr != la {
+			t.Fatalf("iteration %d: loss %v (fault-free) != %v (adapted)", i, lr, la)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		w := schedule.Worker{Stage: i, Pipeline: 0}
+		pr, pa := ref.StageParams(w), adapted.StageParams(w)
+		for j := range pr {
+			if !tensor.Equal(pr[j].W, pa[j].W) {
+				t.Fatalf("stage %d param %d differs after adapted training", i, j)
+			}
+		}
+	}
+}
+
+// TestGradientEquivalenceMultiFailureAndRejoin extends the equivalence
+// through two concurrent failures and a re-join.
+func TestGradientEquivalenceMultiFailureAndRejoin(t *testing.T) {
+	ref := New(smallConfig())
+	adapted := New(smallConfig())
+	w1 := schedule.Worker{Stage: 2, Pipeline: 1}
+	w2 := schedule.Worker{Stage: 0, Pipeline: 2}
+	for i := 0; i < 8; i++ {
+		switch i {
+		case 1:
+			adapted.Fail(w1)
+		case 3:
+			adapted.Fail(w2)
+		case 5:
+			if err := adapted.Rejoin(w1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lr, err := ref.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		la, err := adapted.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lr != la {
+			t.Fatalf("iteration %d: loss diverged: %v vs %v", i, lr, la)
+		}
+	}
+}
+
+// TestReplicaConsistency checks that after adapted iterations every live
+// data-parallel replica holds identical parameters (the invariant that
+// makes peer rerouting possible at all).
+func TestReplicaConsistency(t *testing.T) {
+	rt := New(smallConfig())
+	rt.Fail(schedule.Worker{Stage: 3, Pipeline: 2})
+	for i := 0; i < 3; i++ {
+		if _, err := rt.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for stage := 0; stage < 4; stage++ {
+		ref := rt.StageParams(schedule.Worker{Stage: stage, Pipeline: 0})
+		for k := 1; k < 3; k++ {
+			w := schedule.Worker{Stage: stage, Pipeline: k}
+			if stage == 3 && k == 2 {
+				continue // failed worker holds stale state
+			}
+			ps := rt.StageParams(w)
+			for j := range ref {
+				if !tensor.Equal(ref[j].W, ps[j].W) {
+					t.Fatalf("replica %s param %d diverged from pipeline 0", w, j)
+				}
+			}
+		}
+	}
+}
+
+// TestRejoinRestoresState checks the point-to-point parameter copy on
+// re-join.
+func TestRejoinRestoresState(t *testing.T) {
+	rt := New(smallConfig())
+	victim := schedule.Worker{Stage: 1, Pipeline: 1}
+	rt.Fail(victim)
+	for i := 0; i < 2; i++ {
+		if _, err := rt.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Rejoin(victim); err != nil {
+		t.Fatal(err)
+	}
+	donor := rt.StageParams(schedule.Worker{Stage: 1, Pipeline: 0})
+	restored := rt.StageParams(victim)
+	for j := range donor {
+		if !tensor.Equal(donor[j].W, restored[j].W) {
+			t.Fatalf("rejoined worker param %d not restored", j)
+		}
+	}
+	if _, err := rt.RunIteration(); err != nil {
+		t.Fatalf("iteration after rejoin: %v", err)
+	}
+}
+
+// TestRejoinWithoutFailureErrors checks the guard.
+func TestRejoinWithoutFailureErrors(t *testing.T) {
+	rt := New(smallConfig())
+	if err := rt.Rejoin(schedule.Worker{Stage: 0, Pipeline: 0}); err == nil {
+		t.Fatal("rejoining a live worker should fail")
+	}
+}
+
+// TestLossDecreases sanity-checks that the substrate actually trains.
+func TestLossDecreases(t *testing.T) {
+	rt := New(smallConfig())
+	first, err := rt.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 9; i++ {
+		last, err = rt.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !(last < first) {
+		t.Fatalf("loss did not decrease: first %v last %v", first, last)
+	}
+}
+
+// TestRollbackOnNaN injects a non-finite weight and checks the post-step
+// validation triggers a cluster-wide rollback (§5).
+func TestRollbackOnNaN(t *testing.T) {
+	rt := New(smallConfig())
+	if _, err := rt.RunIteration(); err != nil {
+		t.Fatal(err)
+	}
+	w := schedule.Worker{Stage: 1, Pipeline: 1}
+	params := rt.StageParams(w)
+	params[0].W.Data[0] = math.NaN()
+	if _, err := rt.RunIteration(); err == nil {
+		t.Fatal("expected a rolled-back iteration after NaN injection")
+	}
+}
+
+// TestDetectorFiresOnSilence checks heartbeat-based failure detection.
+func TestDetectorFiresOnSilence(t *testing.T) {
+	failures := make(chan schedule.Worker, 4)
+	d := NewDetector(30*time.Millisecond, func(w schedule.Worker) { failures <- w })
+	healthy := schedule.Worker{Stage: 0, Pipeline: 0}
+	silent := schedule.Worker{Stage: 1, Pipeline: 0}
+	d.Register(healthy)
+	d.Register(silent)
+	d.Start(5 * time.Millisecond)
+	defer d.Stop()
+
+	stop := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				d.Heartbeat(healthy)
+			}
+		}
+	}()
+	select {
+	case w := <-failures:
+		if w != silent {
+			t.Fatalf("detector flagged %s, want %s", w, silent)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("detector never fired")
+	}
+	close(stop)
+	if d.Failed(healthy) {
+		t.Fatal("healthy worker marked failed")
+	}
+	if !d.Failed(silent) {
+		t.Fatal("silent worker not marked failed")
+	}
+}
+
+// TestDatasetDeterministic checks the data source is a pure function of
+// its coordinates.
+func TestDatasetDeterministic(t *testing.T) {
+	a := NewDataset(4, 2, 3, 7)
+	b := NewDataset(4, 2, 3, 7)
+	if !tensor.Equal(a.Input(1, 2, 3), b.Input(1, 2, 3)) {
+		t.Fatal("dataset inputs not deterministic")
+	}
+	if !tensor.Equal(a.Target(1, 2, 3), b.Target(1, 2, 3)) {
+		t.Fatal("dataset targets not deterministic")
+	}
+	if tensor.Equal(a.Input(1, 2, 3), a.Input(1, 2, 4)) {
+		t.Fatal("different micro-batches produced identical data")
+	}
+}
+
+// TestKernelDelaysStretchIteration checks the Table 2 instrumentation: a
+// configured kernel delay lower-bounds the measured iteration latency.
+func TestKernelDelaysStretchIteration(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MB = 4
+	cfg.Delays = schedule.Durations{F: 500, BInput: 500, BWeight: 500, Opt: 500}
+	rt := New(cfg)
+	start := time.Now()
+	if _, err := rt.RunIteration(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// Critical path >= (PP + MB - 1) forwards + backwards ~ well above 5ms.
+	if elapsed < 5*time.Millisecond {
+		t.Fatalf("iteration took %s, kernel delays not applied", elapsed)
+	}
+}

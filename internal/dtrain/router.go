@@ -1,0 +1,79 @@
+package dtrain
+
+import (
+	"fmt"
+	"sync"
+
+	"recycle/internal/nn"
+	"recycle/internal/tensor"
+)
+
+// msgKind tags router messages.
+type msgKind int8
+
+const (
+	// msgAct carries a stage-boundary activation downstream (the
+	// ReRouteAct path: the sender looks up the *executing* worker of the
+	// next stage, which may be a data-parallel peer).
+	msgAct msgKind = iota
+	// msgGrad carries an input gradient upstream (ReRouteGrad).
+	msgGrad
+	// msgContrib carries a worker's WeightGradStore to its stage's
+	// all-reduce root.
+	msgContrib
+	// msgReduced broadcasts reduced gradients from the root to peers.
+	msgReduced
+)
+
+// msgKey addresses one rendezvous between two ops.
+type msgKey struct {
+	kind  msgKind
+	stage int
+	iter  int
+	mb    nn.MBKey
+	// peer disambiguates contribution/broadcast messages per pipeline.
+	peer int
+}
+
+// payload is the router's unit of exchange.
+type payload struct {
+	mat      *tensor.Matrix
+	contribs map[nn.MBKey][]*tensor.Matrix
+	grads    []*tensor.Matrix
+}
+
+// router is an in-process rendezvous transport: senders and receivers meet
+// on content-addressed single-slot channels, which makes executor
+// interleaving irrelevant to the computation's result.
+type router struct {
+	mu sync.Mutex
+	m  map[msgKey]chan payload
+}
+
+func newRouter() *router { return &router{m: make(map[msgKey]chan payload)} }
+
+func (r *router) ch(k msgKey) chan payload {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.m[k]
+	if !ok {
+		c = make(chan payload, 1)
+		r.m[k] = c
+	}
+	return c
+}
+
+func (r *router) send(k msgKey, p payload) { r.ch(k) <- p }
+
+func (r *router) recv(k msgKey) payload { return <-r.ch(k) }
+
+// reset drops all pending messages (between iterations / after aborts).
+func (r *router) reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m = make(map[msgKey]chan payload)
+}
+
+func (k msgKey) String() string {
+	return fmt.Sprintf("kind=%d stage=%d iter=%d mb=%+v peer=%d", k.kind, k.stage, k.iter, k.mb, k.peer)
+}

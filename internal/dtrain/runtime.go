@@ -1,0 +1,353 @@
+package dtrain
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"recycle/internal/nn"
+	"recycle/internal/schedule"
+	"recycle/internal/solver"
+	"recycle/internal/tensor"
+)
+
+// Config sizes the live training job.
+type Config struct {
+	DP, PP                                int
+	MB                                    int // micro-batches per pipeline per iteration
+	InDim, Hidden, OutDim, MicroBatchSize int
+	Seed                                  int64
+	LR                                    float64
+	// UseSGD selects plain SGD instead of AdamW.
+	UseSGD bool
+	// Delays, when non-zero, adds a fixed busy-delay per op type (values
+	// in microseconds). This emulates profiled GPU kernel latencies so the
+	// runtime's wall-clock timeline can be compared against the
+	// simulator's prediction (Table 2) independent of host CPU contention.
+	Delays schedule.Durations
+}
+
+// delay sleeps for the configured per-op kernel latency.
+func (rt *Runtime) delay(t schedule.OpType) {
+	if d := rt.Cfg.Delays.Of(t); d > 0 {
+		time.Sleep(time.Duration(d) * time.Microsecond)
+	}
+}
+
+// Runtime owns the model replicas and executes training iterations under
+// adaptive schedules. It is the in-process counterpart of the paper's
+// Coordinator + Executors (§4.1): the coordinator logic (failure handling,
+// plan selection, validation/rollback) lives on the Runtime; each live
+// worker executes its per-iteration instruction stream on its own
+// goroutine.
+type Runtime struct {
+	Cfg     Config
+	Dataset *Dataset
+
+	stages map[schedule.Worker]*nn.Stage
+	opts   map[schedule.Worker]nn.Optimizer
+	failed map[schedule.Worker]bool
+	iter   int
+
+	mu        sync.Mutex
+	losses    map[nn.MBKey]float64
+	opSeconds map[schedule.OpType]time.Duration
+	opCounts  map[schedule.OpType]int
+}
+
+// New builds a healthy DP x PP runtime with identical stage replicas
+// across data-parallel pipelines.
+func New(cfg Config) *Runtime {
+	rt := &Runtime{
+		Cfg:       cfg,
+		Dataset:   NewDataset(cfg.InDim, cfg.OutDim, cfg.MicroBatchSize, cfg.Seed),
+		stages:    make(map[schedule.Worker]*nn.Stage),
+		opts:      make(map[schedule.Worker]nn.Optimizer),
+		failed:    make(map[schedule.Worker]bool),
+		losses:    make(map[nn.MBKey]float64),
+		opSeconds: make(map[schedule.OpType]time.Duration),
+		opCounts:  make(map[schedule.OpType]int),
+	}
+	for k := 0; k < cfg.DP; k++ {
+		// Every pipeline gets an identical replica: same seed.
+		sts := nn.MLPStages(cfg.PP, cfg.InDim, cfg.Hidden, cfg.OutDim, cfg.Seed+7)
+		for i, st := range sts {
+			w := schedule.Worker{Stage: i, Pipeline: k}
+			rt.stages[w] = st
+			rt.opts[w] = rt.newOptimizer()
+		}
+	}
+	return rt
+}
+
+func (rt *Runtime) newOptimizer() nn.Optimizer {
+	if rt.Cfg.UseSGD {
+		return &nn.SGD{LR: rt.Cfg.LR}
+	}
+	return nn.NewAdamW(rt.Cfg.LR)
+}
+
+// Fail marks a worker failed before the next iteration (the coordinator's
+// response to a detector event; training resumes from the iteration in
+// which the failure was identified, §4.1).
+func (rt *Runtime) Fail(w schedule.Worker) { rt.failed[w] = true }
+
+// Rejoin brings a repaired worker back: its parameters and optimizer state
+// are copied point-to-point from a live data-parallel peer at an iteration
+// boundary (§3.4).
+func (rt *Runtime) Rejoin(w schedule.Worker) error {
+	if !rt.failed[w] {
+		return fmt.Errorf("dtrain: worker %s is not failed", w)
+	}
+	var donor schedule.Worker
+	found := false
+	for k := 0; k < rt.Cfg.DP; k++ {
+		cand := schedule.Worker{Stage: w.Stage, Pipeline: k}
+		if cand != w && !rt.failed[cand] {
+			donor, found = cand, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("dtrain: no live peer to restore %s from", w)
+	}
+	src, dst := rt.stages[donor], rt.stages[w]
+	srcP, dstP := src.Params(), dst.Params()
+	for i := range srcP {
+		copy(dstP[i].W.Data, srcP[i].W.Data)
+		copy(dstP[i].Grad.Data, srcP[i].Grad.Data)
+	}
+	dst.Reset()
+	rt.opts[w] = rt.newOptimizer()
+	if a, ok := rt.opts[donor].(*nn.AdamW); ok {
+		rt.opts[w].(*nn.AdamW).CopyStateFrom(a, srcP, dstP)
+	}
+	delete(rt.failed, w)
+	return nil
+}
+
+// FailedCount returns the number of failed workers.
+func (rt *Runtime) FailedCount() int { return len(rt.failed) }
+
+// Iteration returns the number of completed iterations.
+func (rt *Runtime) Iteration() int { return rt.iter }
+
+// StageParams exposes a worker's parameters (read-only use in tests).
+func (rt *Runtime) StageParams(w schedule.Worker) []*nn.Param {
+	return rt.stages[w].Params()
+}
+
+// plan compiles the adaptive schedule for the current failure set.
+func (rt *Runtime) plan() (*schedule.Schedule, error) {
+	failed := make(map[schedule.Worker]bool, len(rt.failed))
+	for w := range rt.failed {
+		failed[w] = true
+	}
+	return solver.Solve(solver.Input{
+		Shape:     schedule.Shape{DP: rt.Cfg.DP, PP: rt.Cfg.PP, MB: rt.Cfg.MB, Iter: 1},
+		Durations: schedule.UnitSlots,
+		Failed:    failed,
+		Decoupled: true,
+		Staggered: true,
+	})
+}
+
+// RunIteration executes one full training iteration — forward, backward,
+// all-reduce, staggered optimizer step with post-step validation — under
+// the adaptive schedule for the current failure set. It returns the mean
+// micro-batch loss.
+func (rt *Runtime) RunIteration() (float64, error) {
+	s, err := rt.plan()
+	if err != nil {
+		return 0, err
+	}
+	r := newRouter()
+	rt.losses = make(map[nn.MBKey]float64)
+
+	var wg sync.WaitGroup
+	valErrs := make(chan error, rt.Cfg.DP*rt.Cfg.PP)
+	for _, w := range s.Workers() {
+		wg.Add(1)
+		go func(w schedule.Worker, ps []schedule.Placement) {
+			defer wg.Done()
+			if err := rt.exec(w, ps, r); err != nil {
+				valErrs <- err
+			}
+		}(w, s.Worker(w))
+	}
+	wg.Wait()
+	close(valErrs)
+	var firstErr error
+	for e := range valErrs {
+		if firstErr == nil {
+			firstErr = e
+		}
+	}
+	if firstErr != nil {
+		// Post-step validation failed somewhere: roll back every stage's
+		// step (§5) and skip the iteration.
+		for w, st := range rt.stages {
+			if !rt.failed[w] {
+				rt.opts[w].Rollback(st.Params())
+			}
+		}
+		rt.iter++
+		return 0, fmt.Errorf("dtrain: iteration %d rolled back: %w", rt.iter-1, firstErr)
+	}
+	loss := rt.iterationLoss()
+	rt.iter++
+	return loss, nil
+}
+
+// iterationLoss reduces per-micro-batch losses in canonical order.
+func (rt *Runtime) iterationLoss() float64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	keys := make([]nn.MBKey, 0, len(rt.losses))
+	for k := range rt.losses {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].Less(keys[b]) })
+	var sum float64
+	for _, k := range keys {
+		sum += rt.losses[k]
+	}
+	return sum / float64(len(keys))
+}
+
+// exec interprets one worker's instruction stream for the iteration.
+func (rt *Runtime) exec(w schedule.Worker, ps []schedule.Placement, r *router) error {
+	st := rt.stages[w]
+	preds := make(map[nn.MBKey]*tensor.Matrix) // last-stage predictions awaiting loss
+	last := w.Stage == rt.Cfg.PP-1
+	record := func(t schedule.OpType, d time.Duration) {
+		rt.mu.Lock()
+		rt.opSeconds[t] += d
+		rt.opCounts[t]++
+		rt.mu.Unlock()
+	}
+	for _, p := range ps {
+		op := p.Op
+		key := nn.MBKey{Pipeline: op.Home, MB: op.MB}
+		switch op.Type {
+		case schedule.F:
+			var x *tensor.Matrix
+			if op.Stage == 0 {
+				x = rt.Dataset.Input(rt.iter, op.Home, op.MB)
+			} else {
+				x = r.recv(msgKey{kind: msgAct, stage: op.Stage, iter: op.Iter, mb: key}).mat
+			}
+			t0 := time.Now() // time only the compute, not the blocking recv
+			y := st.Forward(key, x)
+			rt.delay(schedule.F)
+			record(schedule.F, time.Since(t0))
+			if last {
+				preds[key] = y
+			} else {
+				r.send(msgKey{kind: msgAct, stage: op.Stage + 1, iter: op.Iter, mb: key}, payload{mat: y})
+			}
+		case schedule.B, schedule.BInput:
+			var dy *tensor.Matrix
+			if last {
+				loss, g := nn.MSELoss(preds[key], rt.Dataset.Target(rt.iter, op.Home, op.MB))
+				rt.mu.Lock()
+				rt.losses[key] = loss
+				rt.mu.Unlock()
+				dy = g
+				delete(preds, key)
+			} else {
+				dy = r.recv(msgKey{kind: msgGrad, stage: op.Stage, iter: op.Iter, mb: key}).mat
+			}
+			t0 := time.Now()
+			dx := st.BackwardInput(key, dy)
+			rt.delay(schedule.BInput)
+			record(schedule.BInput, time.Since(t0))
+			if op.Stage > 0 {
+				r.send(msgKey{kind: msgGrad, stage: op.Stage - 1, iter: op.Iter, mb: key}, payload{mat: dx})
+			}
+			if op.Type == schedule.B {
+				t1 := time.Now()
+				st.BackwardWeight(key)
+				rt.delay(schedule.BWeight)
+				record(schedule.BWeight, time.Since(t1))
+			}
+		case schedule.BWeight:
+			t0 := time.Now()
+			st.BackwardWeight(key)
+			rt.delay(schedule.BWeight)
+			record(schedule.BWeight, time.Since(t0))
+		case schedule.Optimizer:
+			if err := rt.allReduceAndStep(w, st, op.Iter, r, record); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// allReduceAndStep implements the per-stage gradient all-reduce and
+// staggered optimizer step: peers ship their WeightGradStore contents to
+// the stage root, the root reduces contributions in canonical order and
+// broadcasts the reduced gradients, and every peer then applies an
+// identical optimizer step followed by local post-step validation.
+func (rt *Runtime) allReduceAndStep(w schedule.Worker, st *nn.Stage, iter int, r *router, record func(schedule.OpType, time.Duration)) error {
+	var peers []int
+	for k := 0; k < rt.Cfg.DP; k++ {
+		if !rt.failed[schedule.Worker{Stage: w.Stage, Pipeline: k}] {
+			peers = append(peers, k)
+		}
+	}
+	root := peers[0]
+	totalMBs := rt.Cfg.DP * rt.Cfg.MB
+	if w.Pipeline == root {
+		merged := st.DrainStore()
+		for _, p := range peers[1:] {
+			c := r.recv(msgKey{kind: msgContrib, stage: w.Stage, iter: iter, peer: p}).contribs
+			for k, gs := range c {
+				if _, dup := merged[k]; dup {
+					return fmt.Errorf("dtrain: duplicate gradient contribution for %+v at stage %d", k, w.Stage)
+				}
+				merged[k] = gs
+			}
+		}
+		if got, want := len(merged), totalMBs; got != want {
+			return fmt.Errorf("dtrain: stage %d all-reduce saw %d contributions, want %d", w.Stage, got, want)
+		}
+		t0 := time.Now()
+		st.ReduceContributions(merged, totalMBs)
+		rt.delay(schedule.Optimizer)
+		defer func() { record(schedule.Optimizer, time.Since(t0)) }()
+		grads := make([]*tensor.Matrix, 0)
+		for _, p := range st.Params() {
+			grads = append(grads, p.Grad.Clone())
+		}
+		for _, p := range peers[1:] {
+			r.send(msgKey{kind: msgReduced, stage: w.Stage, iter: iter, peer: p}, payload{grads: grads})
+		}
+	} else {
+		r.send(msgKey{kind: msgContrib, stage: w.Stage, iter: iter, peer: w.Pipeline}, payload{contribs: st.DrainStore()})
+		reduced := r.recv(msgKey{kind: msgReduced, stage: w.Stage, iter: iter, peer: w.Pipeline}).grads
+		params := st.Params()
+		for i, g := range reduced {
+			copy(params[i].Grad.Data, g.Data)
+		}
+	}
+	rt.opts[w].Step(st.Params())
+	return nn.ValidateFinite(st.Params())
+}
+
+// MeasuredTimes returns the mean wall-clock duration per op type observed
+// so far — the live runtime's Profiler output, used by the Table 2
+// sim-fidelity experiment.
+func (rt *Runtime) MeasuredTimes() map[schedule.OpType]time.Duration {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make(map[schedule.OpType]time.Duration)
+	for t, total := range rt.opSeconds {
+		if n := rt.opCounts[t]; n > 0 {
+			out[t] = total / time.Duration(n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) from this repository's own substrates. Each experiment
+// returns a formatted report plus structured rows, and is exposed through
+// cmd/recycle-bench and the root-level benchmark harness.
+//
+// Absolute numbers differ from the paper's A100 cluster (the cost model is
+// analytic); the reproduced quantities are the comparative shapes — who
+// wins, by what factor, where OOM happens, where crossovers fall. See
+// EXPERIMENTS.md for paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"recycle/internal/baselines"
+	"recycle/internal/config"
+	"recycle/internal/failure"
+	"recycle/internal/profile"
+	"recycle/internal/sim"
+)
+
+// Horizon is the real-experiment duration of §6.1 (6 hours).
+const Horizon = 6 * time.Hour
+
+// systemsFor assembles ReCycle and all baselines for a job.
+func systemsFor(job config.Job) (rc *sim.ReCycle, all []sim.System, ff float64, err error) {
+	stats, err := profile.Analytic(job)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	rc = sim.NewReCycle(job, stats)
+	ff, err = rc.Throughput(0)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	common, err := baselines.NewCommon(job, stats, ff)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	all = []sim.System{
+		rc,
+		baselines.Oobleck{C: common},
+		baselines.Bamboo{C: common},
+		baselines.Elastic{C: common},
+		baselines.FaultScaled{C: common},
+	}
+	return rc, all, ff, nil
+}
+
+// Table1Row is one (model, failure frequency) cell set of Table 1.
+type Table1Row struct {
+	Model     string
+	Frequency time.Duration
+	FaultFree float64
+	// Avg holds average samples/sec per system name; OOM marks systems
+	// that cannot run the model at all.
+	Avg map[string]float64
+	OOM map[string]bool
+}
+
+// Table1 reproduces Table 1: average training throughput of ReCycle,
+// Oobleck, Bamboo (and the elastic/fault-scaled references) under
+// monotonic failures every 6h / 2h / 30m on the three GPT-3 jobs.
+func Table1() ([]Table1Row, string, error) {
+	var rows []Table1Row
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: average throughput (samples/sec) under monotonic failures, 6h horizon\n")
+	for _, job := range config.Table1Jobs() {
+		_, systems, ff, err := systemsFor(job)
+		if err != nil {
+			return nil, "", fmt.Errorf("experiments: %s: %w", job.Model.Name, err)
+		}
+		fmt.Fprintf(&b, "\n%s (PP=%d DP=%d, fault-free %.2f)\n", job.Model.Name, job.Parallel.PP, job.Parallel.DP, ff)
+		fmt.Fprintf(&b, "  %-6s", "freq")
+		for _, s := range systems {
+			fmt.Fprintf(&b, " %12s", s.Name())
+		}
+		fmt.Fprintln(&b)
+		for _, freq := range []time.Duration{6 * time.Hour, 2 * time.Hour, 30 * time.Minute} {
+			tr := failure.Monotonic(job.Parallel.Workers(), freq, Horizon)
+			row := Table1Row{Model: job.Model.Name, Frequency: freq, FaultFree: ff,
+				Avg: map[string]float64{}, OOM: map[string]bool{}}
+			fmt.Fprintf(&b, "  %-6s", shortDur(freq))
+			for _, s := range systems {
+				res := sim.Run(s, tr, Horizon)
+				if res.OOM {
+					row.OOM[s.Name()] = true
+					fmt.Fprintf(&b, " %12s", "OOM")
+					continue
+				}
+				row.Avg[s.Name()] = res.Average
+				fmt.Fprintf(&b, " %12.2f", res.Average)
+			}
+			fmt.Fprintln(&b)
+			rows = append(rows, row)
+		}
+	}
+	return rows, b.String(), nil
+}
+
+func shortDur(d time.Duration) string {
+	if d >= time.Hour {
+		return fmt.Sprintf("%dh", int(d.Hours()))
+	}
+	return fmt.Sprintf("%dm", int(d.Minutes()))
+}

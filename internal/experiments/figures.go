@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"recycle/internal/config"
+	"recycle/internal/core"
+	"recycle/internal/failure"
+	"recycle/internal/profile"
+	"recycle/internal/schedule"
+	"recycle/internal/sim"
+	"recycle/internal/solver"
+)
+
+// GallerySlots reproduces the running example's slot counts (Figs 3a, 3b,
+// 5 and 6): fault-free 27, adaptive-coupled, decoupled 29, staggered
+// steady-state == fault-free.
+type GallerySlots struct {
+	FaultFree       int64
+	AdaptiveCoupled int64
+	Decoupled       int64
+	StaggeredPeriod int64
+	FaultFreePeriod int64
+}
+
+// Gallery computes the Figs 3/5/6 slot counts.
+func Gallery() (GallerySlots, error) {
+	shape := schedule.Shape{DP: 3, PP: 4, MB: 6, Iter: 1}
+	failed := map[schedule.Worker]bool{{Stage: 2, Pipeline: 1}: true}
+	var g GallerySlots
+	ff, err := solver.Solve(solver.Input{Shape: shape, Durations: schedule.UnitSlots})
+	if err != nil {
+		return g, err
+	}
+	g.FaultFree = ff.ComputeMakespan(0)
+	ac, err := solver.Solve(solver.Input{Shape: shape, Durations: schedule.UnitSlots, Failed: failed})
+	if err != nil {
+		return g, err
+	}
+	g.AdaptiveCoupled = ac.ComputeMakespan(0)
+	dec, err := solver.Solve(solver.Input{Shape: shape, Durations: schedule.UnitSlots, Failed: failed, Decoupled: true})
+	if err != nil {
+		return g, err
+	}
+	g.Decoupled = dec.ComputeMakespan(0)
+	unrolled := shape
+	unrolled.Iter = 4
+	st, err := solver.Solve(solver.Input{Shape: unrolled, Durations: schedule.UnitSlots, Failed: failed, Decoupled: true, Staggered: true})
+	if err != nil {
+		return g, err
+	}
+	g.StaggeredPeriod = st.SteadyPeriod()
+	ffu, err := solver.Solve(solver.Input{Shape: unrolled, Durations: schedule.UnitSlots})
+	if err != nil {
+		return g, err
+	}
+	g.FaultFreePeriod = ffu.SteadyPeriod()
+	return g, nil
+}
+
+// Fig9Result is the trace-replay outcome for one model.
+type Fig9Result struct {
+	Model    string
+	Averages map[string]float64 // avg samples/sec per system
+	OOM      map[string]bool
+	Results  []sim.Result
+}
+
+// Fig9Jobs returns the two 24-worker jobs of the Fig 9 trace replay:
+// GPT-3 Medium (PP=2, DP=12) and GPT-3 6.7B (PP=8, DP=3).
+func Fig9Jobs() []config.Job {
+	return []config.Job{
+		{Model: config.GPT3Medium, Parallel: config.Parallelism{DP: 12, PP: 2, TP: 1}, Batch: config.Batch{GlobalBatch: 8160, MicroBatch: 8}, Hardware: config.A100x1},
+		{Model: config.GPT3_6_7B, Parallel: config.Parallelism{DP: 3, PP: 8, TP: 1}, Batch: config.Batch{GlobalBatch: 1023, MicroBatch: 1}, Hardware: config.A100x1},
+	}
+}
+
+// Fig9 replays the GCP availability trace (Fig 9a) for every system on
+// the GPT-3 Medium and 6.7B jobs (Figs 9b, 9c).
+func Fig9() ([]Fig9Result, string, error) {
+	tr := failure.GCP()
+	var out []Fig9Result
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 9: GCP trace replay (%d workers, min availability %d, avg %.1f)\n",
+		tr.Total, tr.MinAvailable(), tr.Average(Horizon))
+	for _, job := range Fig9Jobs() {
+		_, systems, ff, err := systemsFor(job)
+		if err != nil {
+			return nil, "", err
+		}
+		r := Fig9Result{Model: job.Model.Name, Averages: map[string]float64{}, OOM: map[string]bool{}}
+		fmt.Fprintf(&b, "\n%s (fault-free %.2f samples/s)\n", job.Model.Name, ff)
+		for _, s := range systems {
+			res := sim.Run(s, tr, Horizon)
+			r.Results = append(r.Results, res)
+			if res.OOM {
+				r.OOM[s.Name()] = true
+				fmt.Fprintf(&b, "  %-12s OOM\n", s.Name())
+				continue
+			}
+			r.Averages[s.Name()] = res.Average
+			fmt.Fprintf(&b, "  %-12s avg %.2f samples/s\n", s.Name(), res.Average)
+		}
+		out = append(out, r)
+	}
+	return out, b.String(), nil
+}
+
+// Fig10Row is one bar of Fig 10: normalized throughput at a failure rate.
+type Fig10Row struct {
+	Model       string
+	GPUs        int
+	FailurePct  float64
+	Failures    int
+	FaultScaled float64 // (N-f)/N
+	ReCycle     float64 // plan period ratio, normalized to fault-free
+}
+
+// Fig10 reproduces the simulated scaling study: normalized steady-state
+// throughput of ReCycle at 1%, 5% and 10% worker failures for the four
+// large GPT-3 models, against the fault-scaled ideal.
+func Fig10() ([]Fig10Row, string, error) {
+	var rows []Fig10Row
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 10: normalized steady-state throughput vs failure rate\n")
+	fmt.Fprintf(&b, "%-14s %6s %5s %9s %12s %9s\n", "model", "GPUs", "f%", "failures", "fault-scaled", "ReCycle")
+	for _, job := range config.Fig10Jobs() {
+		stats, err := profile.Analytic(job)
+		if err != nil {
+			return nil, "", fmt.Errorf("fig10: %s: %w", job.Model.Name, err)
+		}
+		planner := core.New(job, stats)
+		planner.UnrollIterations = 2
+		ffPlan, err := planner.PlanFor(0)
+		if err != nil {
+			return nil, "", err
+		}
+		total := job.Parallel.Workers()
+		for _, pct := range []float64{1, 5, 10} {
+			f := failure.FailureRate(total, pct)
+			plan, err := planner.PlanFor(f)
+			if err != nil {
+				return nil, "", fmt.Errorf("fig10: %s f=%d: %w", job.Model.Name, f, err)
+			}
+			row := Fig10Row{
+				Model: job.Model.Name, GPUs: job.Parallel.GPUs(), FailurePct: pct, Failures: f,
+				FaultScaled: float64(total-f) / float64(total),
+				ReCycle:     float64(ffPlan.PeriodSlots) / float64(plan.PeriodSlots),
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(&b, "%-14s %6d %5.0f %9d %12.3f %9.3f\n",
+				row.Model, row.GPUs, pct, f, row.FaultScaled, row.ReCycle)
+		}
+	}
+	return rows, b.String(), nil
+}
+
+// Fig11Row is one ablation bar: normalized throughput with a technique set.
+type Fig11Row struct {
+	Model     string
+	Adaptive  float64 // Adaptive Pipelining only
+	Decoupled float64 // + Decoupled BackProp
+	Staggered float64 // + Staggered Optimizer
+}
+
+// Fig11 reproduces the technique ablation: average normalized throughput
+// under 30-minute failures with techniques enabled cumulatively.
+func Fig11() ([]Fig11Row, string, error) {
+	var rows []Fig11Row
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 11: ablation, normalized avg throughput under 30m failures\n")
+	fmt.Fprintf(&b, "%-14s %10s %11s %11s\n", "model", "adaptive", "+decoupled", "+staggered")
+	for _, job := range config.Table1Jobs() {
+		stats, err := profile.Analytic(job)
+		if err != nil {
+			return nil, "", err
+		}
+		avg := func(t core.Techniques) (float64, error) {
+			rc := sim.NewReCycle(job, stats)
+			rc.Planner.Techniques = t
+			ff, err := rc.Throughput(0)
+			if err != nil {
+				return 0, err
+			}
+			tr := failure.Monotonic(job.Parallel.Workers(), 30*time.Minute, Horizon)
+			res := sim.Run(rc, tr, Horizon)
+			if res.Err != nil {
+				return 0, res.Err
+			}
+			return res.Average / ff, nil
+		}
+		a, err := avg(core.Techniques{AdaptivePipelining: true})
+		if err != nil {
+			return nil, "", err
+		}
+		d, err := avg(core.Techniques{AdaptivePipelining: true, DecoupledBackProp: true})
+		if err != nil {
+			return nil, "", err
+		}
+		s, err := avg(core.AllTechniques)
+		if err != nil {
+			return nil, "", err
+		}
+		row := Fig11Row{Model: job.Model.Name, Adaptive: a, Decoupled: d, Staggered: s}
+		rows = append(rows, row)
+		fmt.Fprintf(&b, "%-14s %10.3f %11.3f %11.3f\n", row.Model, a, d, s)
+	}
+	return rows, b.String(), nil
+}

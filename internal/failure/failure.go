@@ -1,0 +1,180 @@
+// Package failure models the failure workloads of the paper's evaluation:
+// fixed-frequency monotonic failure schedules (Table 1), Poisson failure
+// processes parameterized by MTBF, and availability traces with failures
+// and re-joins (the GCP trace of Fig 9a).
+package failure
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Step is one point in an availability timeline: from At onward, Available
+// workers are up.
+type Step struct {
+	At        time.Duration
+	Available int
+}
+
+// Trace is an availability timeline, sorted by time, starting at 0.
+type Trace struct {
+	Name  string
+	Total int // fleet size the job was planned for
+	Steps []Step
+}
+
+// Validate checks monotone timestamps and bounds.
+func (t Trace) Validate() error {
+	if len(t.Steps) == 0 || t.Steps[0].At != 0 {
+		return fmt.Errorf("failure: trace must start at t=0")
+	}
+	prev := time.Duration(-1)
+	for _, s := range t.Steps {
+		if s.At <= prev {
+			return fmt.Errorf("failure: non-increasing step at %v", s.At)
+		}
+		if s.Available < 0 || s.Available > t.Total {
+			return fmt.Errorf("failure: availability %d outside [0,%d]", s.Available, t.Total)
+		}
+		prev = s.At
+	}
+	return nil
+}
+
+// At returns the availability at time d.
+func (t Trace) At(d time.Duration) int {
+	avail := t.Total
+	for _, s := range t.Steps {
+		if s.At > d {
+			break
+		}
+		avail = s.Available
+	}
+	return avail
+}
+
+// MinAvailable returns the lowest availability in the trace.
+func (t Trace) MinAvailable() int {
+	min := t.Total
+	for _, s := range t.Steps {
+		if s.Available < min {
+			min = s.Available
+		}
+	}
+	return min
+}
+
+// Average returns the time-weighted mean availability over the horizon.
+func (t Trace) Average(horizon time.Duration) float64 {
+	var acc float64
+	for i, s := range t.Steps {
+		end := horizon
+		if i+1 < len(t.Steps) && t.Steps[i+1].At < horizon {
+			end = t.Steps[i+1].At
+		}
+		if end > s.At {
+			acc += float64(s.Available) * (end - s.At).Seconds()
+		}
+	}
+	return acc / horizon.Seconds()
+}
+
+// Monotonic builds the Table 1 failure workload: one worker lost every
+// freq, never recovered, over the horizon. With freq = 30m and a 6h run on
+// 32 workers this ends at 20 available, matching §6.2.
+func Monotonic(total int, freq, horizon time.Duration) Trace {
+	t := Trace{Name: fmt.Sprintf("monotonic-%s", freq), Total: total, Steps: []Step{{At: 0, Available: total}}}
+	n := total
+	for at := freq; at <= horizon; at += freq {
+		n--
+		if n < 0 {
+			break
+		}
+		t.Steps = append(t.Steps, Step{At: at, Available: n})
+	}
+	return t
+}
+
+// Poisson builds a trace with exponentially distributed inter-failure
+// times (mean mtbf) and exponentially distributed repair times (mean mttr,
+// zero disables repair). Deterministic for a given seed.
+func Poisson(total int, mtbf, mttr, horizon time.Duration, seed int64) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	type ev struct {
+		at   time.Duration
+		down bool
+	}
+	var evs []ev
+	at := time.Duration(0)
+	for {
+		at += time.Duration(rng.ExpFloat64() * float64(mtbf))
+		if at > horizon {
+			break
+		}
+		evs = append(evs, ev{at, true})
+		if mttr > 0 {
+			repair := at + time.Duration(rng.ExpFloat64()*float64(mttr))
+			if repair <= horizon {
+				evs = append(evs, ev{repair, false})
+			}
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	t := Trace{Name: fmt.Sprintf("poisson-mtbf%s", mtbf), Total: total, Steps: []Step{{At: 0, Available: total}}}
+	avail := total
+	for _, e := range evs {
+		if e.down && avail > 0 {
+			avail--
+		} else if !e.down && avail < total {
+			avail++
+		}
+		t.Steps = append(t.Steps, Step{At: e.at, Available: avail})
+	}
+	return dedupe(t)
+}
+
+// GCP reconstructs the availability envelope of the trace used in §6.2
+// (Fig 9a) — derived from GCP spot instances by the Bamboo and Oobleck
+// artifacts: 24 GPUs at the start, dipping to 15, with frequent removals
+// and re-insertions over six hours.
+func GCP() Trace {
+	mins := func(m int) time.Duration { return time.Duration(m) * time.Minute }
+	return Trace{
+		Name:  "gcp-6h",
+		Total: 24,
+		Steps: []Step{
+			{mins(0), 24}, {mins(18), 23}, {mins(31), 22}, {mins(44), 24},
+			{mins(62), 21}, {mins(74), 19}, {mins(88), 20}, {mins(103), 24},
+			{mins(126), 22}, {mins(141), 20}, {mins(158), 18}, {mins(172), 15},
+			{mins(186), 17}, {mins(201), 20}, {mins(224), 24}, {mins(247), 22},
+			{mins(262), 19}, {mins(279), 21}, {mins(301), 23}, {mins(322), 20},
+			{mins(338), 22}, {mins(352), 22},
+		},
+	}
+}
+
+// dedupe drops steps that do not change availability.
+func dedupe(t Trace) Trace {
+	out := t.Steps[:1]
+	for _, s := range t.Steps[1:] {
+		if s.Available != out[len(out)-1].Available {
+			out = append(out, s)
+		}
+	}
+	t.Steps = out
+	return t
+}
+
+// FailureRate converts a percentage of a fleet into a worker count,
+// rounding to nearest with a minimum of 1 for nonzero rates (Fig 10's 1%,
+// 5%, 10% points).
+func FailureRate(total int, pct float64) int {
+	n := int(math.Round(float64(total) * pct / 100))
+	if n == 0 && pct > 0 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,92 @@
+package failure
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestMonotonic30mEndsAt20 reproduces the §6.2 workload arithmetic: 30m
+// failures over 6h on 32 workers leave 20 available (62.5%).
+func TestMonotonic30mEndsAt20(t *testing.T) {
+	tr := Monotonic(32, 30*time.Minute, 6*time.Hour)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.At(6 * time.Hour); got != 20 {
+		t.Fatalf("availability at 6h = %d, want 20", got)
+	}
+	if got := tr.At(0); got != 32 {
+		t.Fatalf("availability at 0 = %d, want 32", got)
+	}
+	if got := tr.At(29 * time.Minute); got != 32 {
+		t.Fatalf("availability before first failure = %d, want 32", got)
+	}
+}
+
+// TestGCPEnvelope checks the Fig 9a trace reconstruction: 24 workers,
+// minimum 15, with at least one re-join.
+func TestGCPEnvelope(t *testing.T) {
+	tr := GCP()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total != 24 {
+		t.Fatalf("GCP trace total = %d, want 24", tr.Total)
+	}
+	if got := tr.MinAvailable(); got != 15 {
+		t.Fatalf("min availability = %d, want 15", got)
+	}
+	rejoins := 0
+	for i := 1; i < len(tr.Steps); i++ {
+		if tr.Steps[i].Available > tr.Steps[i-1].Available {
+			rejoins++
+		}
+	}
+	if rejoins < 3 {
+		t.Fatalf("GCP trace has %d re-join events, want several", rejoins)
+	}
+}
+
+// TestPoissonDeterministicAndValid property-checks the Poisson generator.
+func TestPoissonDeterministicAndValid(t *testing.T) {
+	check := func(seed int64) bool {
+		a := Poisson(16, time.Hour, 30*time.Minute, 6*time.Hour, seed)
+		b := Poisson(16, time.Hour, 30*time.Minute, 6*time.Hour, seed)
+		if len(a.Steps) != len(b.Steps) {
+			return false
+		}
+		for i := range a.Steps {
+			if a.Steps[i] != b.Steps[i] {
+				return false
+			}
+		}
+		return a.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAverage checks time-weighted averaging.
+func TestAverage(t *testing.T) {
+	tr := Trace{Name: "t", Total: 10, Steps: []Step{
+		{0, 10}, {3 * time.Hour, 5},
+	}}
+	if got := tr.Average(6 * time.Hour); got != 7.5 {
+		t.Fatalf("average = %v, want 7.5", got)
+	}
+}
+
+// TestFailureRate checks the Fig 10 percentage conversion.
+func TestFailureRate(t *testing.T) {
+	if got := FailureRate(2048, 10); got != 205 {
+		t.Fatalf("10%% of 2048 = %d, want 205", got)
+	}
+	if got := FailureRate(256, 1); got != 3 {
+		t.Fatalf("1%% of 256 = %d, want 3", got)
+	}
+	if got := FailureRate(10, 1); got != 1 {
+		t.Fatalf("nonzero rate must fail at least one worker, got %d", got)
+	}
+}

@@ -1,0 +1,176 @@
+// Package model is the analytic transformer cost model that stands in for
+// the paper's profiling runs on real GPUs. Given a config.Model, a pipeline
+// decomposition and a micro-batch size, it derives parameter counts, FLOPs,
+// activation footprints and memory requirements per pipeline stage.
+//
+// The formulas follow the standard Megatron-LM accounting
+// (Narayanan et al., SC'21; Korthikanti et al., 2023):
+//
+//	params per layer       = 12 h^2 + 13 h
+//	forward FLOPs / token  = 2 * params (+ attention quadratic term)
+//	backward-input FLOPs   = forward FLOPs
+//	backward-weight FLOPs  = forward FLOPs
+//
+// so a coupled backward pass costs 2x the forward pass — the 1:2 slot ratio
+// the paper's schedules (Figs 3, 5, 6) are drawn with, and the property the
+// Decoupled BackProp technique exploits (T_BInput == T_BWeight == T_F).
+package model
+
+import (
+	"fmt"
+
+	"recycle/internal/config"
+)
+
+// Costs summarizes the analytic cost model for one (model, stage split,
+// micro-batch) combination. All times are seconds, all sizes bytes.
+type Costs struct {
+	Model config.Model
+
+	TotalParams  int64 // whole-model parameter count
+	StageParams  int64 // parameters held by one (widest) pipeline stage
+	LayersPer    int   // transformer layers per stage (ceiling split)
+	MicroBatch   int   // samples per micro-batch
+	TokensPerMB  int64 // tokens in one micro-batch
+	FwdFlopsMB   float64
+	ActBytesMB   int64 // activation bytes one stage keeps per in-flight micro-batch
+	BoundaryMB   int64 // bytes crossing a stage boundary per micro-batch
+	StageWeights int64 // bytes of weights+gradients+optimizer state per stage
+}
+
+// ErrTooManyStages is wrapped by Split when PP exceeds the layer count.
+var ErrTooManyStages = fmt.Errorf("model: more pipeline stages than layers")
+
+// ParamsPerLayer returns the parameter count of one transformer layer.
+func ParamsPerLayer(m config.Model) int64 {
+	h := int64(m.Hidden)
+	return 12*h*h + 13*h
+}
+
+// Params returns the whole-model parameter count, including the embedding
+// table (tied input/output) and final layer norm.
+func Params(m config.Model) int64 {
+	h := int64(m.Hidden)
+	return int64(m.Layers)*ParamsPerLayer(m) + int64(m.VocabSize)*h + h*int64(m.SeqLen) + 2*h
+}
+
+// Split computes the per-stage cost model for a PP-way layer split.
+func Split(m config.Model, pp, microBatch int) (Costs, error) {
+	if pp < 1 {
+		return Costs{}, fmt.Errorf("model: PP must be >= 1, got %d", pp)
+	}
+	if pp > m.Layers {
+		return Costs{}, fmt.Errorf("%w: PP=%d layers=%d", ErrTooManyStages, pp, m.Layers)
+	}
+	layersPer := (m.Layers + pp - 1) / pp
+	h := int64(m.Hidden)
+	s := int64(m.SeqLen)
+	b := int64(microBatch)
+	tokens := b * s
+
+	stageParams := int64(layersPer) * ParamsPerLayer(m)
+	// First stage also holds the embedding table; use the widest stage for
+	// memory sizing.
+	embParams := int64(m.VocabSize)*h + s*h
+	if stageParams < embParams {
+		stageParams = embParams
+	} else {
+		stageParams += embParams / int64(pp) // amortized tied embeddings
+	}
+
+	// Forward FLOPs for one micro-batch through one stage:
+	// 2 FLOPs per parameter per token, plus the attention score term
+	// 2*s^2*h per layer per sample (forward).
+	fwd := 2*float64(int64(layersPer)*ParamsPerLayer(m))*float64(tokens) +
+		float64(layersPer)*4*float64(b)*float64(s)*float64(s)*float64(h)
+
+	// Activation memory per in-flight micro-batch per stage, selective
+	// recomputation variant: ~ s*b*h*34 bytes per layer at fp16.
+	act := int64(layersPer) * s * b * h * 34
+
+	// Stage boundary tensor: s*b*h activations at BytesParam precision.
+	boundary := s * b * h * int64(m.BytesParam)
+
+	// Weights (fp16) + gradients (fp16) + Adam master weights and moments
+	// (fp32 x3) = 2+2+12 = 16 bytes per parameter.
+	weightBytes := stageParams * 16
+
+	return Costs{
+		Model:        m,
+		TotalParams:  Params(m),
+		StageParams:  stageParams,
+		LayersPer:    layersPer,
+		MicroBatch:   microBatch,
+		TokensPerMB:  tokens,
+		FwdFlopsMB:   fwd,
+		ActBytesMB:   act,
+		BoundaryMB:   boundary,
+		StageWeights: weightBytes,
+	}, nil
+}
+
+// Times converts the FLOP counts into per-op wall-clock seconds on the given
+// hardware. TBInput and TBWeight are each equal to TF (see package comment);
+// TComm is the stage-boundary transfer time.
+type Times struct {
+	TF       float64 // forward pass, one micro-batch, one stage
+	TBInput  float64 // backward w.r.t. input
+	TBWeight float64 // backward w.r.t. weights
+	TComm    float64 // activation/gradient transfer between adjacent stages
+	TOpt     float64 // optimizer step + gradient all-reduce per stage
+}
+
+// TimesOn evaluates the cost model on hw for a dp-way data-parallel job
+// (dp sizes the gradient all-reduce).
+func (c Costs) TimesOn(hw config.Hardware, dp int) Times {
+	tf := c.FwdFlopsMB / hw.FlopsPerSec
+	comm := float64(c.BoundaryMB)/hw.InterLinkBytesPerSec + hw.AllReduceLatency
+	// Ring all-reduce over dp peers of fp16 gradients: 2*(dp-1)/dp of the
+	// stage gradient bytes over the inter-node link, plus the fused
+	// optimizer update (memory-bound, approximated at link speed of HBM —
+	// negligible next to the all-reduce; folded into a 10% uplift).
+	gradBytes := float64(c.StageParams * 2)
+	ar := 0.0
+	if dp > 1 {
+		ar = 2 * float64(dp-1) / float64(dp) * gradBytes / hw.InterLinkBytesPerSec
+	}
+	return Times{
+		TF:       tf,
+		TBInput:  tf,
+		TBWeight: tf,
+		TComm:    comm,
+		TOpt:     ar*1.1 + hw.AllReduceLatency,
+	}
+}
+
+// MemoryModel reports the static and per-activation memory components for
+// one stage, used by the Fig 12 experiment and by Bamboo's OOM check.
+type MemoryModel struct {
+	StaticBytes        int64 // weights + grads + optimizer state
+	PerActivationBytes int64 // one in-flight micro-batch of activations
+	CapacityBytes      int64 // hardware HBM
+}
+
+// Memory builds the per-stage memory model on hw.
+func (c Costs) Memory(hw config.Hardware) MemoryModel {
+	return MemoryModel{
+		StaticBytes:        c.StageWeights,
+		PerActivationBytes: c.ActBytesMB,
+		CapacityBytes:      hw.MemBytes,
+	}
+}
+
+// MaxActivations returns how many in-flight activations fit beside the
+// static state, i.e. the memory cap M_Limit of the MILP (Eq. 6) expressed
+// in activation units. The second return is false if even the static state
+// does not fit (an OOM configuration).
+func (m MemoryModel) MaxActivations() (int, bool) {
+	free := m.CapacityBytes - m.StaticBytes
+	if free < 0 {
+		return 0, false
+	}
+	if m.PerActivationBytes <= 0 {
+		return 1 << 30, true
+	}
+	return int(free / m.PerActivationBytes), true
+}

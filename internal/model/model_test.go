@@ -1,0 +1,86 @@
+package model
+
+import (
+	"testing"
+
+	"recycle/internal/config"
+)
+
+// TestParamCountsNearNames checks the analytic parameter counts land near
+// the models' advertised sizes.
+func TestParamCountsNearNames(t *testing.T) {
+	for _, tc := range []struct {
+		m    config.Model
+		want float64 // billions
+		tol  float64
+	}{
+		{config.GPT3Medium, 0.35, 0.5},
+		{config.GPT3_6_7B, 6.7, 0.25},
+		{config.GPT3_145_6B, 145.6, 0.25},
+	} {
+		got := float64(Params(tc.m)) / 1e9
+		if got < tc.want*(1-tc.tol) || got > tc.want*(1+tc.tol) {
+			t.Errorf("%s: %.2fB params, want ~%.2fB", tc.m.Name, got, tc.want)
+		}
+	}
+}
+
+// TestBackwardCostsTwiceForward checks the slot model underlying the
+// paper's figures: TBInput + TBWeight = 2 * TF.
+func TestBackwardCostsTwiceForward(t *testing.T) {
+	costs, err := Split(config.GPT3_6_7B, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := costs.TimesOn(config.A100x1, 4)
+	if times.TBInput != times.TF || times.TBWeight != times.TF {
+		t.Fatalf("TF=%g TBI=%g TBW=%g; want equal", times.TF, times.TBInput, times.TBWeight)
+	}
+}
+
+// TestSplitRejectsTooManyStages checks the PP > layers guard.
+func TestSplitRejectsTooManyStages(t *testing.T) {
+	if _, err := Split(config.GPT3Medium, 100, 1); err == nil {
+		t.Fatal("expected error for PP > layers")
+	}
+}
+
+// TestMemoryModelImbalance checks the 1F1B memory headroom math Fig 12
+// builds on: the 6.7B job leaves room for far more than PP in-flight
+// activations.
+func TestMemoryModelImbalance(t *testing.T) {
+	costs, err := Split(config.GPT3_6_7B, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := costs.Memory(config.A100x1)
+	maxAct, ok := mem.MaxActivations()
+	if !ok {
+		t.Fatal("6.7B static state should fit an A100-80GB at PP=8")
+	}
+	if maxAct < 2*8 {
+		t.Fatalf("only %d in-flight activations fit; expected surplus beyond 1F1B's 8", maxAct)
+	}
+}
+
+// TestOOMDetection checks static-state overflow reporting.
+func TestOOMDetection(t *testing.T) {
+	costs, err := Split(config.GPT3_145_6B, 8, 1) // 18B params/stage x16B >> 80GB
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := costs.Memory(config.A100x1)
+	if _, ok := mem.MaxActivations(); ok {
+		t.Fatal("145.6B at PP=8 on one A100 should not fit")
+	}
+}
+
+// TestMoreStagesLessMemory checks stage splitting reduces per-worker
+// footprint.
+func TestMoreStagesLessMemory(t *testing.T) {
+	c8, _ := Split(config.GPT3_6_7B, 8, 1)
+	c16, _ := Split(config.GPT3_6_7B, 16, 1)
+	if c16.StageWeights >= c8.StageWeights {
+		t.Fatalf("PP=16 stage bytes %d not below PP=8's %d", c16.StageWeights, c8.StageWeights)
+	}
+}

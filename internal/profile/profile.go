@@ -1,0 +1,103 @@
+// Package profile implements ReCycle's Profiler (Fig 8): it derives the
+// per-operation statistics the Planner consumes — forward / backward-input
+// / backward-weight / optimizer latencies, communication latency, and
+// per-stage memory budgets.
+//
+// Two sources are supported:
+//
+//   - Analytic (the default in this reproduction): the transformer cost
+//     model in internal/model evaluated on a hardware preset, standing in
+//     for the paper's 100-iteration profiling job on real GPUs.
+//   - Measured: timing callbacks from the live runtime (internal/dtrain),
+//     used by the Table 2 sim-fidelity experiment.
+package profile
+
+import (
+	"fmt"
+	"math"
+
+	"recycle/internal/config"
+	"recycle/internal/model"
+	"recycle/internal/schedule"
+)
+
+// Stats is the profiled statistics bundle handed to the Planner.
+type Stats struct {
+	// Integer op durations in UnitSeconds units.
+	TF, TBInput, TBWeight, TOpt, TComm int64
+	// UnitSeconds is the wall-clock length of one duration unit.
+	UnitSeconds float64
+	// MemCapPerStage is the in-flight activation cap per pipeline stage
+	// (the MILP's M_Limit in activation units). Nil means unbounded.
+	MemCapPerStage []int
+	// Memory summarizes the per-stage byte model for Fig 12 and the
+	// Bamboo OOM check.
+	Memory model.MemoryModel
+}
+
+// Durations converts the stats into the solver's duration struct.
+func (s Stats) Durations() schedule.Durations {
+	return schedule.Durations{F: s.TF, BInput: s.TBInput, BWeight: s.TBWeight, Opt: s.TOpt, Comm: s.TComm}
+}
+
+// ErrOOM is returned when a configuration cannot fit its static state in
+// GPU memory.
+var ErrOOM = fmt.Errorf("profile: static state exceeds device memory")
+
+// Analytic profiles the job with the transformer cost model — the
+// substitute for the paper's short profiling run (§4.1). The duration unit
+// is chosen so TF maps to a round integer (1024 units), keeping relative
+// precision for the solver while bounding magnitudes.
+func Analytic(job config.Job) (Stats, error) {
+	costs, err := model.Split(job.Model, job.Parallel.PP, job.Batch.MicroBatch)
+	if err != nil {
+		return Stats{}, err
+	}
+	times := costs.TimesOn(job.Hardware, job.Parallel.DP)
+	mem := costs.Memory(job.Hardware)
+	return FromTimes(times, mem, job.Parallel.PP)
+}
+
+// FromTimes quantizes wall-clock op times into integer durations and
+// derives per-stage memory caps. Exported so the live runtime's measured
+// timings can feed the same path.
+func FromTimes(t model.Times, mem model.MemoryModel, pp int) (Stats, error) {
+	if t.TF <= 0 {
+		return Stats{}, fmt.Errorf("profile: non-positive forward time %g", t.TF)
+	}
+	unit := t.TF / 1024
+	q := func(sec float64) int64 {
+		v := int64(math.Round(sec / unit))
+		if v < 1 && sec > 0 {
+			v = 1
+		}
+		return v
+	}
+	maxAct, ok := mem.MaxActivations()
+	if !ok {
+		return Stats{}, fmt.Errorf("%w: static %d B > capacity %d B", ErrOOM, mem.StaticBytes, mem.CapacityBytes)
+	}
+	if maxAct < pp {
+		return Stats{}, fmt.Errorf("%w: only %d in-flight activations fit, 1F1B needs %d", ErrOOM, maxAct, pp)
+	}
+	caps := make([]int, pp)
+	for i := range caps {
+		caps[i] = maxAct
+	}
+	return Stats{
+		TF:             q(t.TF),
+		TBInput:        q(t.TBInput),
+		TBWeight:       q(t.TBWeight),
+		TOpt:           q(t.TOpt),
+		TComm:          q(t.TComm),
+		UnitSeconds:    unit,
+		MemCapPerStage: caps,
+		Memory:         mem,
+	}, nil
+}
+
+// Unit returns the paper's unit-slot stats (TF=1, TBI=TBW=1, no comm),
+// used by schedule-level tests and the figure gallery.
+func Unit() Stats {
+	return Stats{TF: 1, TBInput: 1, TBWeight: 1, TOpt: 1, TComm: 0, UnitSeconds: 1}
+}

@@ -1,0 +1,56 @@
+package profile
+
+import (
+	"errors"
+	"testing"
+
+	"recycle/internal/config"
+)
+
+// TestAnalyticSlotRatios checks the quantization preserves the paper's
+// TF : TBInput : TBWeight = 1 : 1 : 1 slot model.
+func TestAnalyticSlotRatios(t *testing.T) {
+	for _, job := range config.Table1Jobs() {
+		st, err := Analytic(job)
+		if err != nil {
+			t.Fatalf("%s: %v", job.Model.Name, err)
+		}
+		if st.TF != 1024 || st.TBInput != st.TF || st.TBWeight != st.TF {
+			t.Errorf("%s: TF=%d TBI=%d TBW=%d, want 1024 each", job.Model.Name, st.TF, st.TBInput, st.TBWeight)
+		}
+		if st.TOpt <= 0 || st.UnitSeconds <= 0 {
+			t.Errorf("%s: bad TOpt=%d unit=%g", job.Model.Name, st.TOpt, st.UnitSeconds)
+		}
+		if len(st.MemCapPerStage) != job.Parallel.PP {
+			t.Errorf("%s: %d memory caps for PP=%d", job.Model.Name, len(st.MemCapPerStage), job.Parallel.PP)
+		}
+		for _, c := range st.MemCapPerStage {
+			if c < job.Parallel.PP {
+				t.Errorf("%s: cap %d below 1F1B minimum %d", job.Model.Name, c, job.Parallel.PP)
+			}
+		}
+	}
+}
+
+// TestOOMConfigRejected checks an impossible configuration errors.
+func TestOOMConfigRejected(t *testing.T) {
+	job := config.Job{
+		Model:    config.GPT3_145_6B,
+		Parallel: config.Parallelism{DP: 2, PP: 4, TP: 1},
+		Batch:    config.Batch{GlobalBatch: 64, MicroBatch: 1},
+		Hardware: config.A100x1,
+	}
+	_, err := Analytic(job)
+	if !errors.Is(err, ErrOOM) {
+		t.Fatalf("want ErrOOM, got %v", err)
+	}
+}
+
+// TestUnitStats checks the figure-gallery stats.
+func TestUnitStats(t *testing.T) {
+	u := Unit()
+	d := u.Durations()
+	if d.F != 1 || d.BInput != 1 || d.BWeight != 1 || d.Comm != 0 {
+		t.Fatalf("unit durations wrong: %+v", d)
+	}
+}

@@ -1,0 +1,165 @@
+package schedule
+
+// OpRef identifies one compute op within a worker's instruction order:
+// the op type and the micro-batch index it applies to.
+type OpRef struct {
+	Type OpType
+	MB   int
+}
+
+// OneFOneBOrder returns the canonical synchronous 1F1B instruction order
+// (PipeDream-Flush / Megatron-LM) for one stage: min(mb, pp-stage) warm-up
+// forwards, a steady phase alternating one backward with one forward, and a
+// cool-down of the remaining backwards.
+func OneFOneBOrder(pp, mb, stage int) []OpRef {
+	warm := pp - stage
+	if warm > mb {
+		warm = mb
+	}
+	order := make([]OpRef, 0, 2*mb)
+	for j := 0; j < warm; j++ {
+		order = append(order, OpRef{Type: F, MB: j})
+	}
+	for j := 0; j < mb-warm; j++ {
+		order = append(order, OpRef{Type: B, MB: j})
+		order = append(order, OpRef{Type: F, MB: warm + j})
+	}
+	for j := mb - warm; j < mb; j++ {
+		order = append(order, OpRef{Type: B, MB: j})
+	}
+	return order
+}
+
+// FaultFree1F1B builds the fully timed fault-free 1F1B schedule for the
+// shape, coupled backward passes and a globally synchronized optimizer step
+// at the end of each iteration — the baseline of Figure 3a. With unit slot
+// durations (TF=1, TB=2) and mb >= pp, the compute makespan of one
+// iteration is (pp-1)*3 + mb*3 slots (27 in the paper's 3x4x6 example).
+func FaultFree1F1B(shape Shape, d Durations) *Schedule {
+	if err := shape.Validate(); err != nil {
+		panic(err)
+	}
+	var ps []Placement
+	base := int64(0) // start of the current iteration (post optimizer barrier)
+	for it := 0; it < shape.Iter; it++ {
+		var iterEnd int64
+		for k := 0; k < shape.DP; k++ {
+			ps = append(ps, pipeline1F1B(shape, d, k, it, base)...)
+		}
+		for i := len(ps) - 1; i >= 0; i-- {
+			if ps[i].Op.Iter != it {
+				break
+			}
+			if ps[i].End > iterEnd {
+				iterEnd = ps[i].End
+			}
+		}
+		// Synchronous optimizer: every worker steps together after the
+		// global barrier (cross-stage numerical validation, §5).
+		for k := 0; k < shape.DP; k++ {
+			for i := 0; i < shape.PP; i++ {
+				ps = append(ps, Placement{
+					Op:    Op{Stage: i, Home: k, Exec: k, Type: Optimizer, Iter: it, MB: -1},
+					Start: iterEnd,
+					End:   iterEnd + d.Opt,
+				})
+			}
+		}
+		base = iterEnd + d.Opt
+	}
+	return New(shape, d, nil, ps)
+}
+
+// pipeline1F1B times one pipeline's 1F1B iteration starting at base using
+// earliest-start evaluation of the canonical order.
+func pipeline1F1B(shape Shape, d Durations, k, it int, base int64) []Placement {
+	pp, mb := shape.PP, shape.MB
+	orders := make([][]OpRef, pp)
+	next := make([]int, pp)
+	free := make([]int64, pp)
+	fEnd := make([][]int64, pp)
+	bEnd := make([][]int64, pp)
+	for i := 0; i < pp; i++ {
+		orders[i] = OneFOneBOrder(pp, mb, i)
+		free[i] = base
+		fEnd[i] = make([]int64, mb)
+		bEnd[i] = make([]int64, mb)
+		for j := range fEnd[i] {
+			fEnd[i][j] = -1
+			bEnd[i][j] = -1
+		}
+	}
+	var ps []Placement
+	remaining := pp * 2 * mb
+	for remaining > 0 {
+		progressed := false
+		for i := 0; i < pp; i++ {
+			for next[i] < len(orders[i]) {
+				ref := orders[i][next[i]]
+				ready, ok := readyAt1F1B(ref, i, pp, d, fEnd, bEnd)
+				if !ok {
+					break
+				}
+				start := max64(ready, free[i])
+				end := start + d.Of(ref.Type)
+				ps = append(ps, Placement{
+					Op:    Op{Stage: i, MB: ref.MB, Home: k, Exec: k, Type: ref.Type, Iter: it},
+					Start: start,
+					End:   end,
+				})
+				free[i] = end
+				if ref.Type == F {
+					fEnd[i][ref.MB] = end
+				} else {
+					bEnd[i][ref.MB] = end
+				}
+				next[i]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			panic("schedule: 1F1B deadlock — dependency cycle in canonical order")
+		}
+	}
+	return ps
+}
+
+// readyAt1F1B returns the earliest dependency-ready time of ref at stage i,
+// or ok=false if a predecessor is not yet timed.
+func readyAt1F1B(ref OpRef, i, pp int, d Durations, fEnd, bEnd [][]int64) (int64, bool) {
+	switch ref.Type {
+	case F:
+		if i == 0 {
+			return 0, true
+		}
+		if fEnd[i-1][ref.MB] < 0 {
+			return 0, false
+		}
+		return fEnd[i-1][ref.MB] + d.Comm, true
+	case B:
+		if i == pp-1 {
+			if fEnd[i][ref.MB] < 0 {
+				return 0, false
+			}
+			return fEnd[i][ref.MB], true
+		}
+		if bEnd[i+1][ref.MB] < 0 {
+			return 0, false
+		}
+		ready := bEnd[i+1][ref.MB] + d.Comm
+		if fEnd[i][ref.MB] < 0 {
+			return 0, false
+		}
+		return max64(ready, fEnd[i][ref.MB]), true
+	default:
+		panic("schedule: unexpected op type in 1F1B order")
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package schedule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the schedule as an ASCII Gantt chart in the style of the
+// paper's Figures 3, 5 and 6: one row per worker (grouped by pipeline),
+// one column per time slot of width cellWidth. Forward ops print the
+// micro-batch id, backward-input ops a '~' prefix, backward-weight ops a
+// '*' prefix, coupled backwards a 'b' prefix, and optimizer steps "OPT".
+// Rerouted ops are bracketed. Failed workers render as "XX".
+//
+// Micro-batch ids are shown with the paper's global numbering: micro-batch
+// j of pipeline k prints as k*MB+j+1, matching the 1..18 labels of Fig 3.
+func Render(s *Schedule, cellWidth int) string {
+	if cellWidth < 3 {
+		cellWidth = 3
+	}
+	span := s.Makespan(s.Shape.Iter-1, nil)
+	unit := s.Durations.F
+	if unit <= 0 {
+		unit = 1
+	}
+	cols := int(span / unit)
+	if int64(cols)*unit < span {
+		cols++
+	}
+	var b strings.Builder
+	// Header with slot numbers.
+	fmt.Fprintf(&b, "%-8s", "")
+	for c := 0; c < cols; c++ {
+		fmt.Fprintf(&b, "%*d", cellWidth, c+1)
+	}
+	b.WriteByte('\n')
+	for k := 0; k < s.Shape.DP; k++ {
+		for i := 0; i < s.Shape.PP; i++ {
+			w := Worker{Stage: i, Pipeline: k}
+			fmt.Fprintf(&b, "%-8s", w.String())
+			row := make([]string, cols)
+			if s.Failed[w] {
+				for c := range row {
+					row[c] = "XX"
+				}
+			}
+			for _, p := range s.Worker(w) {
+				label := cellLabel(s, p)
+				for t := p.Start; t < p.End; t += unit {
+					c := int(t / unit)
+					if c >= 0 && c < cols {
+						row[c] = label
+					}
+				}
+			}
+			for c := 0; c < cols; c++ {
+				cell := row[c]
+				if cell == "" {
+					cell = "."
+				}
+				if len(cell) > cellWidth-1 {
+					cell = cell[:cellWidth-1]
+				}
+				fmt.Fprintf(&b, "%*s", cellWidth, cell)
+			}
+			b.WriteByte('\n')
+		}
+		if k < s.Shape.DP-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func cellLabel(s *Schedule, p Placement) string {
+	if p.Op.Type == Optimizer {
+		return "OPT"
+	}
+	id := p.Op.Home*s.Shape.MB + p.Op.MB + 1
+	var label string
+	switch p.Op.Type {
+	case F:
+		label = fmt.Sprintf("%d", id)
+	case B:
+		label = fmt.Sprintf("b%d", id)
+	case BInput:
+		label = fmt.Sprintf("~%d", id)
+	case BWeight:
+		label = fmt.Sprintf("*%d", id)
+	}
+	if p.Op.Rerouted() {
+		label = "[" + label + "]"
+	}
+	return label
+}

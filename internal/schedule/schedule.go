@@ -1,0 +1,175 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Shape describes the geometry a schedule was built for.
+type Shape struct {
+	DP   int // data-parallel pipelines
+	PP   int // pipeline stages
+	MB   int // micro-batches per pipeline per iteration
+	Iter int // iterations the schedule is unrolled over (>= 1)
+}
+
+// Validate reports whether the shape is internally consistent.
+func (s Shape) Validate() error {
+	if s.DP < 1 || s.PP < 1 || s.MB < 1 || s.Iter < 1 {
+		return fmt.Errorf("schedule: invalid shape %+v", s)
+	}
+	return nil
+}
+
+// Schedule is a fully timed pipeline schedule: each op of each iteration
+// placed on a worker at a start time. Placements are kept sorted by
+// (Start, worker) for deterministic iteration.
+type Schedule struct {
+	Shape     Shape
+	Durations Durations
+	// Failed is the set of workers the schedule routes around.
+	Failed map[Worker]bool
+	// Placements holds every op placement, sorted by Start.
+	Placements []Placement
+
+	byWorker map[Worker][]Placement
+	byOp     map[Op]Placement
+}
+
+// At returns the placement of op, if it is part of the schedule.
+func (s *Schedule) At(op Op) (Placement, bool) {
+	p, ok := s.byOp[op]
+	return p, ok
+}
+
+// New assembles a schedule from placements, sorting and indexing them.
+func New(shape Shape, d Durations, failed map[Worker]bool, ps []Placement) *Schedule {
+	s := &Schedule{Shape: shape, Durations: d, Failed: failed, Placements: ps}
+	sort.Slice(s.Placements, func(a, b int) bool {
+		pa, pb := s.Placements[a], s.Placements[b]
+		if pa.Start != pb.Start {
+			return pa.Start < pb.Start
+		}
+		wa, wb := pa.Op.Worker(), pb.Op.Worker()
+		if wa.Pipeline != wb.Pipeline {
+			return wa.Pipeline < wb.Pipeline
+		}
+		if wa.Stage != wb.Stage {
+			return wa.Stage < wb.Stage
+		}
+		return pa.Op.String() < pb.Op.String()
+	})
+	s.byWorker = make(map[Worker][]Placement)
+	s.byOp = make(map[Op]Placement, len(s.Placements))
+	for _, p := range s.Placements {
+		w := p.Op.Worker()
+		s.byWorker[w] = append(s.byWorker[w], p)
+		s.byOp[p.Op] = p
+	}
+	return s
+}
+
+// Worker returns the placements executed by w in start order.
+func (s *Schedule) Worker(w Worker) []Placement { return s.byWorker[w] }
+
+// Workers returns every worker that executes at least one op, in
+// (pipeline, stage) order.
+func (s *Schedule) Workers() []Worker {
+	ws := make([]Worker, 0, len(s.byWorker))
+	for w := range s.byWorker {
+		ws = append(ws, w)
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Pipeline != ws[j].Pipeline {
+			return ws[i].Pipeline < ws[j].Pipeline
+		}
+		return ws[i].Stage < ws[j].Stage
+	})
+	return ws
+}
+
+// Makespan returns the completion time of the last op of the given
+// iteration among types in mask (nil mask = all types).
+func (s *Schedule) Makespan(iter int, mask func(OpType) bool) int64 {
+	var end int64
+	for _, p := range s.Placements {
+		if p.Op.Iter != iter {
+			continue
+		}
+		if mask != nil && !mask(p.Op.Type) {
+			continue
+		}
+		if p.End > end {
+			end = p.End
+		}
+	}
+	return end
+}
+
+// ComputeMakespan returns the completion time of the last F/B/BI/BW op of
+// iteration iter — the paper's per-iteration slot counts (27, 36, 29)
+// exclude the optimizer step.
+func (s *Schedule) ComputeMakespan(iter int) int64 {
+	return s.Makespan(iter, func(t OpType) bool { return t != Optimizer })
+}
+
+// SteadyPeriod estimates the steady-state iteration interval of an unrolled
+// schedule: the difference between the compute makespans of the last two
+// iterations. For a single-iteration schedule it falls back to the total
+// makespan including the optimizer.
+func (s *Schedule) SteadyPeriod() int64 {
+	if s.Shape.Iter < 2 {
+		return s.Makespan(0, nil)
+	}
+	last := s.Shape.Iter - 1
+	return s.ComputeMakespan(last) - s.ComputeMakespan(last-1)
+}
+
+// BubbleSlots returns the total idle time across live workers within the
+// compute span of iteration iter.
+func (s *Schedule) BubbleSlots(iter int) int64 {
+	span := s.ComputeMakespan(iter)
+	start := int64(0)
+	if iter > 0 {
+		start = s.ComputeMakespan(iter - 1)
+	}
+	var busy int64
+	var workers int64
+	for w, ps := range s.byWorker {
+		if s.Failed[w] {
+			continue
+		}
+		workers++
+		for _, p := range ps {
+			if p.Op.Iter != iter || p.Op.Type == Optimizer {
+				continue
+			}
+			busy += p.End - p.Start
+		}
+	}
+	return (span-start)*workers - busy
+}
+
+// OpCount returns the number of placements of the given type in iteration
+// iter (type < 0 counts all).
+func (s *Schedule) OpCount(iter int, t OpType) int {
+	n := 0
+	for _, p := range s.Placements {
+		if p.Op.Iter == iter && (t < 0 || p.Op.Type == t) {
+			n++
+		}
+	}
+	return n
+}
+
+// ReroutedCount returns how many compute ops of iteration iter run on a
+// data-parallel peer instead of their home worker.
+func (s *Schedule) ReroutedCount(iter int) int {
+	n := 0
+	for _, p := range s.Placements {
+		if p.Op.Iter == iter && p.Op.Type != Optimizer && p.Op.Rerouted() {
+			n++
+		}
+	}
+	return n
+}

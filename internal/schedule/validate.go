@@ -1,0 +1,263 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ValidateConfig controls schedule validation.
+type ValidateConfig struct {
+	// MemCap is the maximum number of in-flight activation units a worker
+	// may hold (the MILP's M_Limit, Eq. 6, in activation units). Zero
+	// disables the memory check.
+	MemCap int
+	// Decoupled states whether the schedule is expected to use split
+	// BInput/BWeight ops (true) or coupled B ops (false). Mixed schedules
+	// are allowed when the planner applies Decoupled BackProp selectively;
+	// validation accepts either form per micro-batch regardless.
+	Decoupled bool
+}
+
+// Validate checks a schedule against the MILP constraint set of §4.2.2:
+// completeness (each operation assigned exactly once, Σ S = 1),
+// cross-stage dependencies (Eq. 2, 3), same-stage dependencies (Eq. 4),
+// no overlapping computation per worker (Eq. 5), the memory bound (Eq. 6),
+// plus the runtime invariants that failed workers execute nothing and that
+// forward and backward of a micro-batch run on the same peer (§5,
+// ReRouteGrad semantics).
+func Validate(s *Schedule, cfg ValidateConfig) error {
+	if err := s.Shape.Validate(); err != nil {
+		return err
+	}
+	type key struct {
+		iter, i, j, k int
+	}
+	fAt := make(map[key]Placement)
+	bInAt := make(map[key]Placement) // BInput or coupled B
+	bWAt := make(map[key]Placement)  // BWeight or coupled B
+	optAt := make(map[Worker][]Placement)
+
+	for _, p := range s.Placements {
+		if s.Failed[p.Op.Worker()] {
+			return fmt.Errorf("schedule: op %s placed on failed worker", p.Op)
+		}
+		if got, want := p.End-p.Start, s.Durations.Of(p.Op.Type); got != want {
+			return fmt.Errorf("schedule: op %s has duration %d, want %d", p.Op, got, want)
+		}
+		if p.Op.Type == Optimizer {
+			optAt[p.Op.Worker()] = append(optAt[p.Op.Worker()], p)
+			continue
+		}
+		kk := key{p.Op.Iter, p.Op.Stage, p.Op.MB, p.Op.Home}
+		switch p.Op.Type {
+		case F:
+			if _, dup := fAt[kk]; dup {
+				return fmt.Errorf("schedule: duplicate F for %s", p.Op)
+			}
+			fAt[kk] = p
+		case B:
+			if _, dup := bInAt[kk]; dup {
+				return fmt.Errorf("schedule: duplicate backward for %s", p.Op)
+			}
+			bInAt[kk] = p
+			bWAt[kk] = p
+		case BInput:
+			if _, dup := bInAt[kk]; dup {
+				return fmt.Errorf("schedule: duplicate BInput for %s", p.Op)
+			}
+			bInAt[kk] = p
+		case BWeight:
+			if _, dup := bWAt[kk]; dup {
+				return fmt.Errorf("schedule: duplicate BWeight for %s", p.Op)
+			}
+			bWAt[kk] = p
+		}
+	}
+
+	// Completeness + dependency checks.
+	for it := 0; it < s.Shape.Iter; it++ {
+		for k := 0; k < s.Shape.DP; k++ {
+			for j := 0; j < s.Shape.MB; j++ {
+				for i := 0; i < s.Shape.PP; i++ {
+					kk := key{it, i, j, k}
+					f, ok := fAt[kk]
+					if !ok {
+						return fmt.Errorf("schedule: missing F stage=%d mb=%d pipe=%d iter=%d", i, j, k, it)
+					}
+					bi, ok := bInAt[kk]
+					if !ok {
+						return fmt.Errorf("schedule: missing backward-input stage=%d mb=%d pipe=%d iter=%d", i, j, k, it)
+					}
+					bw, ok := bWAt[kk]
+					if !ok {
+						return fmt.Errorf("schedule: missing backward-weight stage=%d mb=%d pipe=%d iter=%d", i, j, k, it)
+					}
+					// Forward and backward of a micro-batch on the same peer.
+					if f.Op.Exec != bi.Op.Exec || bi.Op.Exec != bw.Op.Exec {
+						return fmt.Errorf("schedule: micro-batch (i=%d j=%d k=%d) split across peers F@%d BI@%d BW@%d", i, j, k, f.Op.Exec, bi.Op.Exec, bw.Op.Exec)
+					}
+					// Eq. 2: forward cross-stage dependency.
+					if i > 0 {
+						prev := fAt[key{it, i - 1, j, k}]
+						if f.Start < prev.End+s.Durations.Comm {
+							return fmt.Errorf("schedule: %s starts at %d before upstream F ends %d (+comm %d)", f.Op, f.Start, prev.End, s.Durations.Comm)
+						}
+					}
+					// Local data dependency: backward needs this stage's stash.
+					if bi.Start < f.End {
+						return fmt.Errorf("schedule: %s starts at %d before its F ends %d", bi.Op, bi.Start, f.End)
+					}
+					// Eq. 3: backward cross-stage dependency.
+					if i < s.Shape.PP-1 {
+						next := bInAt[key{it, i + 1, j, k}]
+						if bi.Start < next.End+s.Durations.Comm {
+							return fmt.Errorf("schedule: %s starts at %d before downstream BInput ends %d (+comm %d)", bi.Op, bi.Start, next.End, s.Durations.Comm)
+						}
+					}
+					// Eq. 4: BWeight after BInput.
+					if bw.Op.Type == BWeight && bw.Start < bi.End {
+						return fmt.Errorf("schedule: %s starts at %d before BInput ends %d", bw.Op, bw.Start, bi.End)
+					}
+				}
+			}
+		}
+	}
+
+	// Eq. 5: no overlap per worker; memory sweep (Eq. 6); optimizer order.
+	for _, w := range s.Workers() {
+		ps := append([]Placement(nil), s.Worker(w)...)
+		sort.Slice(ps, func(a, b int) bool { return ps[a].Start < ps[b].Start })
+		var prevEnd int64
+		for idx, p := range ps {
+			if idx > 0 && p.Start < prevEnd {
+				return fmt.Errorf("schedule: worker %s overlap: %s starts %d before previous op ends %d", w, p.Op, p.Start, prevEnd)
+			}
+			prevEnd = p.End
+		}
+		if cfg.MemCap > 0 {
+			if err := checkMemory(w, ps, cfg.MemCap); err != nil {
+				return err
+			}
+		}
+	}
+
+	// The per-stage gradient all-reduce needs every BWeight of that stage
+	// — including rerouted ones executed on peers — before any peer of the
+	// stage can step its optimizer.
+	type stageIter struct{ stage, iter int }
+	lastBW := make(map[stageIter]int64)
+	for _, p := range s.Placements {
+		if p.Op.Type == BWeight || p.Op.Type == B {
+			si := stageIter{p.Op.Stage, p.Op.Iter}
+			if p.End > lastBW[si] {
+				lastBW[si] = p.End
+			}
+		}
+	}
+	for w, opts := range optAt {
+		for _, o := range opts {
+			if last := lastBW[stageIter{w.Stage, o.Op.Iter}]; o.Start < last {
+				return fmt.Errorf("schedule: optimizer on %s starts %d before stage %d all-reduce is ready at %d", w, o.Start, w.Stage, last)
+			}
+		}
+	}
+
+	// Optimizer: per worker and iteration, the step must follow every
+	// BWeight that stage executes in that iteration, and precede every op
+	// of the next iteration on that worker.
+	for w, opts := range optAt {
+		byIter := map[int]Placement{}
+		for _, p := range opts {
+			byIter[p.Op.Iter] = p
+		}
+		for _, p := range s.Worker(w) {
+			if p.Op.Type == Optimizer {
+				continue
+			}
+			if o, ok := byIter[p.Op.Iter]; ok {
+				if p.Op.Type == BWeight || p.Op.Type == B {
+					if p.End > o.Start {
+						return fmt.Errorf("schedule: %s ends %d after optimizer starts %d on %s", p.Op, p.End, o.Start, w)
+					}
+				}
+			}
+			if o, ok := byIter[p.Op.Iter-1]; ok && p.Start < o.End {
+				return fmt.Errorf("schedule: %s starts %d before previous iteration optimizer ends %d on %s", p.Op, p.Start, o.End, w)
+			}
+		}
+	}
+	return nil
+}
+
+// checkMemory sweeps a worker's timeline counting in-flight activation
+// units: +1 when a forward starts (activation stash allocated), -1 when the
+// micro-batch's weight gradient completes (stash freed). Rerouted
+// micro-batches count against the peer that executes them.
+func checkMemory(w Worker, ps []Placement, cap int) error {
+	type ev struct {
+		t     int64
+		delta int
+		order int // frees before allocs at the same instant
+	}
+	var evs []ev
+	for _, p := range ps {
+		switch p.Op.Type {
+		case F:
+			evs = append(evs, ev{p.Start, +1, 1})
+		case B, BWeight:
+			evs = append(evs, ev{p.End, -1, 0})
+		}
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].t != evs[b].t {
+			return evs[a].t < evs[b].t
+		}
+		return evs[a].order < evs[b].order
+	})
+	held := 0
+	for _, e := range evs {
+		held += e.delta
+		if held > cap {
+			return fmt.Errorf("schedule: worker %s holds %d in-flight activations at t=%d, cap %d", w, held, e.t, cap)
+		}
+	}
+	return nil
+}
+
+// PeakActivations returns the maximum number of in-flight activation units
+// each worker holds — the quantity Figure 12 plots (converted to bytes by
+// the memory model).
+func PeakActivations(s *Schedule) map[Worker]int {
+	peaks := make(map[Worker]int)
+	for _, w := range s.Workers() {
+		type ev struct {
+			t     int64
+			delta int
+			order int
+		}
+		var evs []ev
+		for _, p := range s.Worker(w) {
+			switch p.Op.Type {
+			case F:
+				evs = append(evs, ev{p.Start, +1, 1})
+			case B, BWeight:
+				evs = append(evs, ev{p.End, -1, 0})
+			}
+		}
+		sort.Slice(evs, func(a, b int) bool {
+			if evs[a].t != evs[b].t {
+				return evs[a].t < evs[b].t
+			}
+			return evs[a].order < evs[b].order
+		})
+		held, peak := 0, 0
+		for _, e := range evs {
+			held += e.delta
+			if held > peak {
+				peak = held
+			}
+		}
+		peaks[w] = peak
+	}
+	return peaks
+}

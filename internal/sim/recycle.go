@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"recycle/internal/config"
+	"recycle/internal/core"
+	"recycle/internal/profile"
+)
+
+// ReCycle adapts the Planner (internal/core) to the simulator's System
+// interface: steady-state throughput comes from the precomputed adaptive
+// schedule for the current failure count, and reconfiguration is a
+// detection delay plus one point-to-point parameter migration per new
+// failure (Failure Normalization, §4.2.1).
+type ReCycle struct {
+	Planner *core.Planner
+	// DetectSeconds is the failure-detection latency charged per event.
+	DetectSeconds float64
+
+	mu    sync.Mutex
+	store *core.PlanStore
+}
+
+// NewReCycle builds the simulator adapter with full techniques.
+func NewReCycle(job config.Job, stats profile.Stats) *ReCycle {
+	return &ReCycle{
+		Planner:       core.New(job, stats),
+		DetectSeconds: 5,
+		store:         core.NewPlanStore(),
+	}
+}
+
+// Name implements System.
+func (r *ReCycle) Name() string { return "ReCycle" }
+
+// Plan returns (planning and caching on demand) the adaptive plan for n
+// failures.
+func (r *ReCycle) Plan(n int) (*core.Plan, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.store.Get(n); ok {
+		return p, nil
+	}
+	p, err := r.Planner.PlanFor(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.store.Put(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Throughput implements System.
+func (r *ReCycle) Throughput(failed int) (float64, error) {
+	par := r.Planner.Job.Parallel
+	if failed >= par.Workers() {
+		return 0, fmt.Errorf("sim: all %d workers failed", par.Workers())
+	}
+	// Beyond (DP-1) failures per stage even normalization cannot keep a
+	// peer per stage; fall back to elastic-style operation from checkpoint
+	// (§3.4, Fig 7a).
+	if failed > par.PP*(par.DP-1) {
+		ff, err := r.Throughput(0)
+		if err != nil {
+			return 0, err
+		}
+		groupsLost := (failed + par.PP - 1) / par.PP
+		if groupsLost >= par.DP {
+			return 0, nil
+		}
+		return ff * float64(par.DP-groupsLost) / float64(par.DP), nil
+	}
+	p, err := r.Plan(failed)
+	if err != nil {
+		return 0, err
+	}
+	return r.Planner.ThroughputSamplesPerSec(p), nil
+}
+
+// ReconfigStall implements System. New failures cost detection plus one
+// stage-parameter copy each (normalization swap); re-joins happen at
+// iteration boundaries with the copy overlapped (§3.4).
+func (r *ReCycle) ReconfigStall(prev, next int) float64 {
+	if next <= prev {
+		// Re-join: wait for the iteration boundary (~one iteration).
+		if p, err := r.Plan(0); err == nil {
+			return r.Planner.IterationSeconds(p)
+		}
+		return 1
+	}
+	migrations := float64(next - prev)
+	stats := r.Planner.Stats
+	paramBytes := float64(stats.Memory.StaticBytes) / 8 // fp16 weights of one stage (of the 16 B/param state)
+	copySec := paramBytes / r.Planner.Job.Hardware.InterLinkBytesPerSec
+	return r.DetectSeconds + migrations*copySec
+}

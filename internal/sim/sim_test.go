@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"recycle/internal/baselines"
+	"recycle/internal/config"
+	"recycle/internal/failure"
+	"recycle/internal/profile"
+)
+
+func testJob() config.Job {
+	return config.Job{
+		Model:    config.GPT3XL,
+		Parallel: config.Parallelism{DP: 4, PP: 4, TP: 1},
+		Batch:    config.Batch{GlobalBatch: 128, MicroBatch: 2},
+		Hardware: config.A100x1,
+	}
+}
+
+func testReCycle(t *testing.T) *ReCycle {
+	t.Helper()
+	stats, err := profile.Analytic(testJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReCycle(testJob(), stats)
+	rc.Planner.UnrollIterations = 2
+	return rc
+}
+
+// TestReCycleThroughputBounded checks that throughput under failures never
+// exceeds fault-free (adaptive schedules repair, they do not re-optimize)
+// and degrades from it once failures exceed the bubble capacity. Between
+// consecutive failure counts the list scheduler may wobble by a small
+// factor (the MILP it stands in for is also only near-optimal), so strict
+// monotonicity is not asserted.
+func TestReCycleThroughputBounded(t *testing.T) {
+	rc := testReCycle(t)
+	ff, err := rc.Throughput(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 1; f <= 4; f++ {
+		cur, err := rc.Throughput(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur > ff+1e-9 {
+			t.Fatalf("throughput with %d failures (%v) exceeds fault-free (%v)", f, cur, ff)
+		}
+		if cur < 0.5*ff {
+			t.Fatalf("throughput with %d failures (%v) collapsed below half of fault-free (%v)", f, cur, ff)
+		}
+	}
+}
+
+// TestRunAccounting checks interval bookkeeping: samples = sum of
+// throughput x (interval - stall).
+func TestRunAccounting(t *testing.T) {
+	rc := testReCycle(t)
+	tr := failure.Monotonic(16, 2*time.Hour, 6*time.Hour)
+	res := Run(rc, tr, 6*time.Hour)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	var want float64
+	for _, p := range res.Timeline {
+		want += p.Throughput * (p.End - p.Start - p.Stall).Seconds()
+	}
+	if diff := res.Samples - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("sample accounting off by %v", diff)
+	}
+	if res.Average <= 0 {
+		t.Fatal("average throughput should be positive")
+	}
+}
+
+// TestStallsChargedOnFailureEvents checks that each availability change
+// after t=0 carries a reconfiguration stall.
+func TestStallsChargedOnFailureEvents(t *testing.T) {
+	rc := testReCycle(t)
+	tr := failure.Monotonic(16, time.Hour, 6*time.Hour)
+	res := Run(rc, tr, 6*time.Hour)
+	for i, p := range res.Timeline {
+		if i == 0 {
+			continue
+		}
+		if p.Stall <= 0 {
+			t.Fatalf("interval %d (failed=%d) has no reconfiguration stall", i, p.Failed)
+		}
+	}
+}
+
+// TestSystemsOrderingUnderChurn checks the paper's headline comparative
+// shape on a churny trace: ReCycle >= Oobleck and ReCycle >= Bamboo, and
+// nobody beats the fault-scaled ideal.
+func TestSystemsOrderingUnderChurn(t *testing.T) {
+	job := testJob()
+	stats, err := profile.Analytic(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReCycle(job, stats)
+	rc.Planner.UnrollIterations = 2
+	ff, err := rc.Throughput(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	common, err := baselines.NewCommon(job, stats, ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := failure.Poisson(16, 45*time.Minute, 90*time.Minute, 6*time.Hour, 7)
+	rcRes := Run(rc, tr, 6*time.Hour)
+	ooRes := Run(baselines.Oobleck{C: common}, tr, 6*time.Hour)
+	baRes := Run(baselines.Bamboo{C: common}, tr, 6*time.Hour)
+	fsRes := Run(baselines.FaultScaled{C: common}, tr, 6*time.Hour)
+	if rcRes.Average < ooRes.Average {
+		t.Errorf("ReCycle %.2f below Oobleck %.2f under churn", rcRes.Average, ooRes.Average)
+	}
+	if !baRes.OOM && rcRes.Average < baRes.Average {
+		t.Errorf("ReCycle %.2f below Bamboo %.2f under churn", rcRes.Average, baRes.Average)
+	}
+	// ReCycle may legitimately exceed the fault-scaled line at low failure
+	// counts (Fig 10: "at or better than fault-scaled") because bubbles
+	// absorb rerouted work, but it can never beat fault-free.
+	ffOnly := Run(rc, failure.Monotonic(16, 100*time.Hour, 6*time.Hour), 6*time.Hour)
+	if rcRes.Average > ffOnly.Average*1.001 {
+		t.Errorf("ReCycle %.2f exceeds fault-free %.2f", rcRes.Average, ffOnly.Average)
+	}
+	_ = fsRes
+}
+
+// TestBeyondGuaranteeFallsBack checks operation past PP*(DP-1) failures:
+// with 13 of 16 workers gone only 3 remain — fewer than the PP=4 stages a
+// pipeline needs — so even the checkpoint fallback yields zero throughput;
+// a fully failed cluster is an error.
+func TestBeyondGuaranteeFallsBack(t *testing.T) {
+	rc := testReCycle(t)
+	thr, err := rc.Throughput(13) // > PP*(DP-1) = 12
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr != 0 {
+		t.Fatalf("3 surviving workers cannot host a 4-stage pipeline; want 0 throughput, got %v", thr)
+	}
+	if _, err := rc.Throughput(16); err == nil {
+		t.Fatal("expected error with the whole cluster failed")
+	}
+}

@@ -1,0 +1,258 @@
+package solver
+
+import (
+	"fmt"
+
+	"recycle/internal/schedule"
+)
+
+// ExactResult is the outcome of a branch-and-bound makespan search.
+type ExactResult struct {
+	Makespan int64
+	Optimal  bool // false if the node budget expired first
+	Nodes    int64
+}
+
+// exNode is one compute op in the exact search's dependency DAG.
+type exNode struct {
+	dur   int64
+	succs []int
+	comms []int64
+	wi    int
+	isF   bool
+	frees bool // B or BWeight: releases an activation unit at completion
+}
+
+// ExactMakespan runs a branch-and-bound search for the minimum compute
+// makespan of one iteration (forward and backward of every micro-batch,
+// optimizer excluded), subject to the same dependency, no-overlap, routing
+// and memory constraints as the greedy solver.
+//
+// Branching follows Giffler–Thompson active-schedule generation, which is
+// guaranteed to contain an optimal schedule for makespan; the bound is the
+// critical-path tail of every ready op. The search is exponential and is
+// meant to certify the heuristic on small instances (DP<=3, PP<=4, MB<=6).
+// maxNodes bounds the search; when exceeded, the best makespan found so
+// far (never worse than the greedy solution, which seeds the incumbent) is
+// returned with Optimal=false.
+func ExactMakespan(in Input, maxNodes int64) (ExactResult, error) {
+	if in.Shape.Iter != 1 {
+		return ExactResult{}, fmt.Errorf("solver: exact search supports single-iteration shapes only")
+	}
+	routes, err := RouteMicroBatches(in.Shape, in.Failed)
+	if err != nil {
+		return ExactResult{}, err
+	}
+	st := newState(in, routes)
+
+	// Project the task graph onto compute ops.
+	var ids []taskID
+	for id := range st.tasks {
+		if st.tasks[id].op.Type != schedule.Optimizer {
+			ids = append(ids, taskID(id))
+		}
+	}
+	n := len(ids)
+	idx := make(map[taskID]int, n)
+	for i, id := range ids {
+		idx[id] = i
+	}
+	nodes := make([]exNode, n)
+	npreds := make([]int, n)
+	for i, id := range ids {
+		t := &st.tasks[id]
+		nd := exNode{
+			dur:   in.Durations.Of(t.op.Type),
+			wi:    st.widx[t.worker],
+			isF:   t.op.Type == schedule.F,
+			frees: t.op.Type == schedule.B || t.op.Type == schedule.BWeight,
+		}
+		for _, sc := range t.succs {
+			if st.tasks[sc.id].op.Type == schedule.Optimizer {
+				continue
+			}
+			nd.succs = append(nd.succs, idx[sc.id])
+			nd.comms = append(nd.comms, sc.comm)
+			npreds[idx[sc.id]]++
+		}
+		nodes[i] = nd
+	}
+
+	// Critical-path tails for the lower bound (reverse topological order).
+	tail := make([]int64, n)
+	order := exTopo(nodes)
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		v := order[oi]
+		tail[v] = nodes[v].dur
+		for si, sv := range nodes[v].succs {
+			if l := nodes[v].dur + nodes[v].comms[si] + tail[sv]; l > tail[v] {
+				tail[v] = l
+			}
+		}
+	}
+
+	caps := exCaps(in, st)
+
+	// Incumbent: the greedy solution.
+	best := int64(1) << 62
+	if g, err := Solve(in); err == nil {
+		best = g.ComputeMakespan(0)
+	}
+	res := ExactResult{Makespan: best, Optimal: true}
+
+	nw := len(st.workers)
+	predEnd := make([]int64, n) // max over placed preds of end+comm
+	pend := append([]int(nil), npreds...)
+	placed := make([]bool, n)
+	free := make([]int64, nw)
+	held := make([]int, nw)
+	left := n
+
+	var dfs func(makespan int64)
+	dfs = func(makespan int64) {
+		res.Nodes++
+		if res.Nodes > maxNodes {
+			res.Optimal = false
+			return
+		}
+		if left == 0 {
+			if makespan < res.Makespan {
+				res.Makespan = makespan
+			}
+			return
+		}
+		// Bound and Giffler–Thompson machine selection.
+		lb := makespan
+		minECT := int64(1) << 62
+		selW := -1
+		for i := 0; i < n; i++ {
+			if placed[i] || pend[i] > 0 {
+				continue
+			}
+			est := predEnd[i]
+			if f := free[nodes[i].wi]; f > est {
+				est = f
+			}
+			if b := est + tail[i]; b > lb {
+				lb = b
+			}
+			if ect := est + nodes[i].dur; ect < minECT || (ect == minECT && nodes[i].wi < selW) {
+				minECT = ect
+				selW = nodes[i].wi
+			}
+		}
+		if lb >= res.Makespan || selW < 0 {
+			return
+		}
+		for i := 0; i < n; i++ {
+			if placed[i] || pend[i] > 0 || nodes[i].wi != selW {
+				continue
+			}
+			est := predEnd[i]
+			if f := free[selW]; f > est {
+				est = f
+			}
+			if est >= minECT {
+				continue // not part of any active schedule at this node
+			}
+			nd := &nodes[i]
+			if nd.isF && caps != nil && held[selW]+1 > caps[selW] {
+				continue
+			}
+			end := est + nd.dur
+			// Apply.
+			placed[i] = true
+			left--
+			oldFree := free[selW]
+			free[selW] = end
+			if nd.isF {
+				held[selW]++
+			} else if nd.frees {
+				held[selW]--
+			}
+			type saved struct {
+				idx int
+				pe  int64
+			}
+			var saves []saved
+			for si, sv := range nd.succs {
+				saves = append(saves, saved{sv, predEnd[sv]})
+				pend[sv]--
+				if r := end + nd.comms[si]; r > predEnd[sv] {
+					predEnd[sv] = r
+				}
+			}
+			m2 := makespan
+			if end > m2 {
+				m2 = end
+			}
+			dfs(m2)
+			// Undo.
+			for _, sv := range saves {
+				predEnd[sv.idx] = sv.pe
+			}
+			for _, sv := range nd.succs {
+				pend[sv]++
+			}
+			if nd.isF {
+				held[selW]--
+			} else if nd.frees {
+				held[selW]++
+			}
+			free[selW] = oldFree
+			placed[i] = false
+			left++
+			if !res.Optimal {
+				return
+			}
+		}
+	}
+	dfs(0)
+	return res, nil
+}
+
+// exCaps resolves the per-worker activation caps for the exact search.
+func exCaps(in Input, st *state) []int {
+	if in.MemCapPerStage == nil && in.MemCap <= 0 {
+		return nil
+	}
+	caps := make([]int, len(st.workers))
+	for wi := range st.workers {
+		if in.MemCapPerStage != nil {
+			caps[wi] = in.MemCapPerStage[st.workers[wi].w.Stage]
+		} else {
+			caps[wi] = in.MemCap
+		}
+	}
+	return caps
+}
+
+// exTopo returns a topological order of the compute DAG.
+func exTopo(nodes []exNode) []int {
+	n := len(nodes)
+	indeg := make([]int, n)
+	for i := range nodes {
+		for _, s := range nodes[i].succs {
+			indeg[s]++
+		}
+	}
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, s := range nodes[v].succs {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	return order
+}

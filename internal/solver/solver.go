@@ -1,0 +1,213 @@
+// Package solver generates adaptive pipeline schedules: given the job
+// shape, op durations, a set of failed workers and the ReCycle technique
+// toggles, it produces a fully timed schedule that minimizes iteration
+// makespan, standing in for the paper's MILP (§4.2.2).
+//
+// The solver is a deterministic event-driven list scheduler built around
+// the structure the paper identifies:
+//
+//   - the fault-free 1F1B skeleton is preserved: forward and
+//     backward-input ops run in their canonical order, with rerouted
+//     micro-batches merged in by their fault-free timing (Adaptive
+//     Pipelining, §3.1);
+//   - backward-weight ops are dependence-free and are lazily deferred into
+//     idle slots under the per-worker memory cap (Decoupled BackProp,
+//     §3.2);
+//   - optimizer steps synchronize either globally (conventional) or per
+//     pipeline stage (Staggered Optimizer, §3.3).
+//
+// package exact.go provides a branch-and-bound makespan solver for small
+// instances, used in tests to certify the heuristic's schedules.
+package solver
+
+import (
+	"container/heap"
+	"fmt"
+
+	"recycle/internal/schedule"
+)
+
+// Input configures one solve.
+type Input struct {
+	Shape     schedule.Shape
+	Durations schedule.Durations
+	// Failed is the set of failed workers to route around.
+	Failed map[schedule.Worker]bool
+	// MemCap is the per-worker in-flight activation cap in units (the
+	// MILP's M_Limit, Eq. 6). Zero means unlimited; the Planner derives
+	// real per-stage caps from the memory model. MemCapPerStage, when
+	// non-nil, overrides MemCap with a per-stage value (later 1F1B stages
+	// have more headroom — the imbalance §3.2 exploits).
+	MemCap         int
+	MemCapPerStage []int
+	// Decoupled enables Decoupled BackProp (split BInput/BWeight).
+	Decoupled bool
+	// Staggered enables the Staggered Optimizer (per-stage barriers).
+	Staggered bool
+	// Naive disables the deadline-driven (ALAP) priorities and the
+	// extended 1F1B window, reproducing the plain round-robin insertion of
+	// Figure 3b — the behavior of a pipeline engine without the decoupled
+	// backward instructions. The Planner uses it for the Fig 11 ablation's
+	// "Adaptive Pipelining only" configuration.
+	Naive bool
+}
+
+// ErrStageDead is returned when some pipeline stage has no live worker in
+// any data-parallel pipeline: adaptive pipelining cannot repair the job and
+// the caller must fall back to checkpoint restoration (§3.4, Fig 7a).
+var ErrStageDead = fmt.Errorf("solver: a pipeline stage has no live data-parallel peer")
+
+// Solve produces an adaptive schedule for the input.
+func Solve(in Input) (*schedule.Schedule, error) {
+	if err := in.Shape.Validate(); err != nil {
+		return nil, err
+	}
+	routes, err := RouteMicroBatches(in.Shape, in.Failed)
+	if err != nil {
+		return nil, err
+	}
+	st := newState(in, routes)
+	if err := st.run(); err != nil {
+		return nil, err
+	}
+	return schedule.New(in.Shape, in.Durations, in.Failed, st.placements), nil
+}
+
+// RouteMicroBatches computes the exec pipeline for every (stage, home
+// pipeline, micro-batch): the home worker when alive, otherwise live
+// data-parallel peers round-robin (the paper's even distribution, §3.1 and
+// the ReRouteAct operator, §5). The returned map is indexed
+// [stage][home][mb].
+func RouteMicroBatches(shape schedule.Shape, failed map[schedule.Worker]bool) ([][][]int, error) {
+	routes := make([][][]int, shape.PP)
+	for i := 0; i < shape.PP; i++ {
+		var alive []int
+		for k := 0; k < shape.DP; k++ {
+			if !failed[schedule.Worker{Stage: i, Pipeline: k}] {
+				alive = append(alive, k)
+			}
+		}
+		if len(alive) == 0 {
+			return nil, fmt.Errorf("%w: stage %d", ErrStageDead, i)
+		}
+		routes[i] = make([][]int, shape.DP)
+		for k := 0; k < shape.DP; k++ {
+			routes[i][k] = make([]int, shape.MB)
+			if !failed[schedule.Worker{Stage: i, Pipeline: k}] {
+				for j := range routes[i][k] {
+					routes[i][k][j] = k
+				}
+				continue
+			}
+			// Round-robin over live peers, offset by the failed pipeline id
+			// so that multiple failures at a stage spread differently.
+			for j := range routes[i][k] {
+				routes[i][k][j] = alive[(j+k)%len(alive)]
+			}
+		}
+	}
+	return routes, nil
+}
+
+// taskID indexes into state.tasks.
+type taskID int32
+
+type task struct {
+	op       schedule.Op
+	worker   schedule.Worker
+	pos      int64 // skeleton priority (fault-free 1F1B position)
+	alap     int64 // latest start that meets the stage deadline
+	release  int64 // earliest allowed start (fault-free pacing of unaffected work)
+	succs    []succ
+	predsN   int32
+	readyAt  int64 // valid once predsN == 0
+	placed   bool
+	start    int64
+	end      int64
+	critical bool // F / B / BInput
+}
+
+type succ struct {
+	id   taskID
+	comm int64 // edge latency added to the predecessor's end
+}
+
+type workerState struct {
+	w        schedule.Worker
+	free     int64
+	held     int // in-flight activation units
+	critHead int // index into crit of first unplaced
+	crit     []taskID
+	bwPool   []taskID // ready BWeight tasks in FIFO order
+	optNext  int      // index into opts of first unplaced optimizer
+	opts     []taskID
+	arrived  bool  // waiting at the current optimizer barrier
+	critLeft []int // unplaced critical ops per iteration
+	bwLeft   []int // unplaced BWeight ops per iteration
+	window   int   // 1F1B forward-ahead window: PP - stage + rerouted MBs
+	ahead    int   // forwards placed minus backward-inputs placed
+	memCap   int   // in-flight activation cap (0 = unlimited)
+}
+
+// event wakes a worker at a given time.
+type event struct {
+	t int64
+	w int // worker index
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	return q[i].t < q[j].t || (q[i].t == q[j].t && q[i].w < q[j].w)
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+type optGroup struct {
+	members  []int // worker indices
+	arrived  int
+	arriveAt int64
+	tasks    []taskID
+	placed   bool
+}
+
+type state struct {
+	in      Input
+	routes  [][][]int
+	tasks   []task
+	workers []workerState
+	widx    map[schedule.Worker]int
+	groups  map[string]*optGroup // key: "iter/stage" or "iter/global"
+	events  eventQueue
+	// wake[w] is the earliest pending wake event for worker w (MaxInt64
+	// when none); duplicate wake pushes are dropped to keep the event
+	// queue O(workers).
+	wake       []int64
+	placements []schedule.Placement
+	unplaced   int
+}
+
+// wakeAt schedules worker wi to be dispatched at time t, deduplicating
+// against an already-pending earlier wake.
+func (s *state) wakeAt(wi int, t int64) {
+	if s.wake[wi] <= t {
+		return
+	}
+	s.wake[wi] = t
+	s.events.pushEvent(event{t: t, w: wi})
+}
+
+func (s *state) workerOf(w schedule.Worker) *workerState { return &s.workers[s.widx[w]] }
+
+// pushEvent adds an event to the queue (container/heap plumbing).
+func (q *eventQueue) pushEvent(e event) {
+	heap.Push(q, e)
+}
