@@ -11,63 +11,77 @@ import (
 
 	"recycle/internal/config"
 	"recycle/internal/core"
+	"recycle/internal/engine"
 	"recycle/internal/experiments"
 	"recycle/internal/profile"
 	"recycle/internal/schedule"
-	"recycle/internal/solver"
 )
+
+// gallery worker W1_2, the running example's failure.
+var galleryFailed = []schedule.Worker{{Stage: 2, Pipeline: 1}}
+
+// galleryPlanner builds the running example's planner for one technique
+// rung of the ablation ladder.
+func galleryPlanner(t core.Techniques, unroll int) *core.Planner {
+	job, stats := engine.ShapeJob(3, 4, 6)
+	p := core.New(job, stats)
+	p.Techniques = t
+	p.UnrollIterations = unroll
+	return p
+}
 
 // BenchmarkFig3FaultFree1F1B regenerates Figure 3a (27 slots).
 func BenchmarkFig3FaultFree1F1B(b *testing.B) {
+	p := galleryPlanner(core.AllTechniques, 1)
 	var slots int64
 	for i := 0; i < b.N; i++ {
-		s, err := solver.Solve(solver.Input{Shape: schedule.Shape{DP: 3, PP: 4, MB: 6, Iter: 1}, Durations: schedule.UnitSlots})
+		plan, err := p.PlanFor(0)
 		if err != nil {
 			b.Fatal(err)
 		}
-		slots = s.ComputeMakespan(0)
+		slots = plan.Schedule.ComputeMakespan(0)
 	}
 	b.ReportMetric(float64(slots), "slots")
 }
 
 // BenchmarkFig3bAdaptiveNaive regenerates Figure 3b (36 slots).
 func BenchmarkFig3bAdaptiveNaive(b *testing.B) {
-	failed := map[schedule.Worker]bool{{Stage: 2, Pipeline: 1}: true}
+	p := galleryPlanner(core.Techniques{AdaptivePipelining: true}, 1)
 	var slots int64
 	for i := 0; i < b.N; i++ {
-		s, err := solver.Solve(solver.Input{Shape: schedule.Shape{DP: 3, PP: 4, MB: 6, Iter: 1}, Durations: schedule.UnitSlots, Failed: failed, Naive: true})
+		plan, err := p.PlanConcrete(galleryFailed)
 		if err != nil {
 			b.Fatal(err)
 		}
-		slots = s.ComputeMakespan(0)
+		slots = plan.Schedule.ComputeMakespan(0)
 	}
 	b.ReportMetric(float64(slots), "slots")
 }
 
 // BenchmarkFig5Decoupled regenerates Figure 5 (29 slots).
 func BenchmarkFig5Decoupled(b *testing.B) {
-	failed := map[schedule.Worker]bool{{Stage: 2, Pipeline: 1}: true}
+	p := galleryPlanner(core.Techniques{AdaptivePipelining: true, DecoupledBackProp: true}, 1)
 	var slots int64
 	for i := 0; i < b.N; i++ {
-		s, err := solver.Solve(solver.Input{Shape: schedule.Shape{DP: 3, PP: 4, MB: 6, Iter: 1}, Durations: schedule.UnitSlots, Failed: failed, Decoupled: true})
+		plan, err := p.PlanConcrete(galleryFailed)
 		if err != nil {
 			b.Fatal(err)
 		}
-		slots = s.ComputeMakespan(0)
+		slots = plan.Schedule.ComputeMakespan(0)
 	}
 	b.ReportMetric(float64(slots), "slots")
 }
 
 // BenchmarkFig6Staggered regenerates Figure 6 (zero-overhead steady period).
 func BenchmarkFig6Staggered(b *testing.B) {
-	failed := map[schedule.Worker]bool{{Stage: 2, Pipeline: 1}: true}
+	p := galleryPlanner(core.AllTechniques, 4)
 	var period int64
 	for i := 0; i < b.N; i++ {
-		s, err := solver.Solve(solver.Input{Shape: schedule.Shape{DP: 3, PP: 4, MB: 6, Iter: 4}, Durations: schedule.UnitSlots, Failed: failed, Decoupled: true, Staggered: true})
+		plan, err := p.PlanConcrete(galleryFailed)
 		if err != nil {
 			b.Fatal(err)
 		}
-		period = s.SteadyPeriod()
+		period = plan.PeriodSlots
 	}
 	b.ReportMetric(float64(period), "period-slots")
 }
@@ -199,22 +213,67 @@ func BenchmarkFig13PlannerLatency(b *testing.B) {
 // calls out: deadline-driven (ALAP) list scheduling vs naive skeleton
 // insertion, on a coupled-backward adaptive schedule.
 func BenchmarkAblationNaiveVsDeadline(b *testing.B) {
-	sh := schedule.Shape{DP: 4, PP: 8, MB: 32, Iter: 2}
-	failed := map[schedule.Worker]bool{{Stage: 7, Pipeline: 3}: true}
+	job, stats := engine.ShapeJob(4, 8, 32)
+	failed := []schedule.Worker{{Stage: 7, Pipeline: 3}}
+	naiveP := core.New(job, stats)
+	naiveP.Techniques = core.Techniques{AdaptivePipelining: true}
+	naiveP.UnrollIterations = 2
+	smartP := core.New(job, stats)
+	smartP.UnrollIterations = 2
 	var naive, smart int64
 	for i := 0; i < b.N; i++ {
-		n, err := solver.Solve(solver.Input{Shape: sh, Durations: schedule.UnitSlots, Failed: failed, Naive: true})
+		n, err := naiveP.PlanConcrete(failed)
 		if err != nil {
 			b.Fatal(err)
 		}
-		s, err := solver.Solve(solver.Input{Shape: sh, Durations: schedule.UnitSlots, Failed: failed, Decoupled: true, Staggered: true})
+		s, err := smartP.PlanConcrete(failed)
 		if err != nil {
 			b.Fatal(err)
 		}
-		naive, smart = n.SteadyPeriod(), s.SteadyPeriod()
+		naive, smart = n.PeriodSlots, s.PeriodSlots
 	}
 	b.ReportMetric(float64(naive), "naive-period")
 	b.ReportMetric(float64(smart), "deadline-period")
+}
+
+// planAllJob is the workload of the PlanAll benches: the Table 1 GPT-3
+// 3.35B job (DP=8, so the offline phase solves 8 independent plans).
+func planAllJob(b *testing.B) (config.Job, profile.Stats) {
+	b.Helper()
+	job := config.Table1Jobs()[1]
+	stats, err := profile.Analytic(job)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return job, stats
+}
+
+// BenchmarkPlanAllSequential is the baseline: the offline phase solving
+// each failure count serially through the core planner.
+func BenchmarkPlanAllSequential(b *testing.B) {
+	job, stats := planAllJob(b)
+	for i := 0; i < b.N; i++ {
+		p := core.New(job, stats)
+		p.UnrollIterations = 2
+		store := core.NewPlanStore()
+		if err := p.PlanAll(store, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanAllParallel runs the same offline phase through the plan
+// service's bounded worker pool (plus the encode/replicate step every plan
+// now pays). A fresh engine per iteration keeps the cache cold so each
+// iteration measures real solves.
+func BenchmarkPlanAllParallel(b *testing.B) {
+	job, stats := planAllJob(b)
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(job, stats, engine.Options{UnrollIterations: 2})
+		if err := eng.PlanAll(0); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkAblationNormalizationCost compares the shipped convex per-peer

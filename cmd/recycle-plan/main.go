@@ -1,17 +1,20 @@
 // Command recycle-plan generates and prints adaptive pipeline schedules:
-// the offline Planner phase of Fig 8. It plans for a configurable number
-// of simultaneous failures on a chosen GPT-3 job and reports the failure
-// normalization, steady-state period, throughput and planning latency;
-// with -render it draws the schedule Gantt chart.
+// the offline Planner phase of Fig 8, driven through the plan service
+// (internal/engine). It plans for a configurable number of simultaneous
+// failures on a chosen GPT-3 job and reports the failure normalization,
+// steady-state period, throughput and planning latency; with -all it
+// precomputes every tolerated failure count concurrently and replicates
+// the plans; with -render it draws the schedule Gantt chart.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"recycle/internal/config"
-	"recycle/internal/core"
+	"recycle/internal/engine"
 	"recycle/internal/profile"
 	"recycle/internal/schedule"
 )
@@ -19,6 +22,7 @@ import (
 func main() {
 	model := flag.String("model", "medium", "model preset: medium | 3.35b | 6.7b")
 	failures := flag.Int("failures", 1, "simultaneous worker failures to plan for")
+	all := flag.Bool("all", false, "precompute plans for every tolerated failure count (0..DP-1) concurrently")
 	render := flag.Bool("render", false, "draw the adapted schedule (small jobs only)")
 	flag.Parse()
 
@@ -39,13 +43,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "profile:", err)
 		os.Exit(1)
 	}
-	planner := core.New(job, stats)
-	ff, err := planner.PlanFor(0)
+	eng := engine.New(job, stats, engine.Options{})
+	if *all {
+		start := time.Now()
+		if err := eng.PlanAll(0); err != nil {
+			fmt.Fprintln(os.Stderr, "plan:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("offline phase: %d plans (0..%d failures) solved concurrently and replicated in %s\n",
+			job.MaxPlannedFailures()+1, job.MaxPlannedFailures(), time.Since(start).Round(time.Millisecond))
+	}
+	ff, err := eng.Plan(0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "plan:", err)
 		os.Exit(1)
 	}
-	plan, err := planner.PlanFor(*failures)
+	plan, err := eng.Plan(*failures)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "plan:", err)
 		os.Exit(1)
@@ -55,11 +68,13 @@ func main() {
 	fmt.Printf("failures=%d  normalized per-stage assignment=%v\n", plan.Failures, plan.Assignment)
 	fmt.Printf("normalized failed workers: %v\n", plan.Failed)
 	fmt.Printf("fault-free iteration: %.1f ms   adapted: %.1f ms   (%.1f%% overhead)\n",
-		planner.IterationSeconds(ff)*1e3, planner.IterationSeconds(plan)*1e3,
+		eng.IterationSeconds(ff)*1e3, eng.IterationSeconds(plan)*1e3,
 		(float64(plan.PeriodSlots)/float64(ff.PeriodSlots)-1)*100)
 	fmt.Printf("throughput: fault-free %.2f samples/s -> adapted %.2f samples/s\n",
-		planner.ThroughputSamplesPerSec(ff), planner.ThroughputSamplesPerSec(plan))
+		eng.ThroughputSamplesPerSec(ff), eng.ThroughputSamplesPerSec(plan))
 	fmt.Printf("planner latency: %s\n", plan.PlanTime)
+	m := eng.Metrics()
+	fmt.Printf("plan service: %d solves, %d cache hits, %d store hits\n", m.Solves, m.CacheHits, m.StoreHits)
 	if *render {
 		fmt.Println()
 		fmt.Println(schedule.Render(plan.Schedule, 5))

@@ -2,7 +2,9 @@
 // DPxPP grid of executor goroutines trains a real model under adaptive
 // schedules, with failures and re-joins injected mid-run, and verifies the
 // paper's accuracy claim by comparing the loss trajectory against a
-// fault-free reference run.
+// fault-free reference run. Schedules come from the plan service
+// (internal/engine) via the Coordinator fetch path; with -preplan the
+// offline phase precomputes every tolerated plan before training starts.
 package main
 
 import (
@@ -21,6 +23,7 @@ func main() {
 	iters := flag.Int("iters", 8, "training iterations")
 	failIter := flag.Int("fail-at", 2, "iteration before which a worker fails (-1 disables)")
 	rejoinIter := flag.Int("rejoin-at", 6, "iteration before which it re-joins (-1 disables)")
+	preplan := flag.Bool("preplan", false, "precompute plans for every tolerated failure count before training")
 	flag.Parse()
 
 	cfg := dtrain.Config{
@@ -35,6 +38,12 @@ func main() {
 
 	ref := dtrain.New(cfg)
 	adapted := dtrain.New(cfg)
+	if *preplan {
+		if err := adapted.PrePlan(0); err != nil {
+			fmt.Fprintln(os.Stderr, "preplan:", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Printf("live training: DP=%d PP=%d MB=%d; victim worker %s\n\n", *dp, *pp, *mb, victim)
 	fmt.Printf("%5s %22s %22s %s\n", "iter", "fault-free loss", "adapted loss", "")
 	for i := 0; i < *iters; i++ {
@@ -65,4 +74,7 @@ func main() {
 		}
 		fmt.Printf("%5d %22.16f %22.16f  %s\n", i, lr, la, mark)
 	}
+	m := adapted.PlanMetrics()
+	fmt.Printf("\nplan service (adapted run): %d solves, %d cache hits, %d store hits, %d Best(n) hits\n",
+		m.Solves, m.CacheHits, m.StoreHits, m.BestHits)
 }

@@ -1,9 +1,11 @@
 // Quickstart: plan around a failure and quantify the recovery.
 //
 // This example sets up a small hybrid-parallel job, profiles it with the
-// analytic cost model, asks the Planner for adaptive schedules at 0 and 2
-// failures, and reports throughput, the per-stage failure normalization,
-// and the migration count needed to apply the plan to a concrete failure.
+// analytic cost model, and runs the offline phase of Fig 8 through the
+// plan service: adaptive schedules for 0..2 simultaneous failures are
+// solved concurrently and replicated. It then reports throughput, the
+// per-stage failure normalization, and the migration count needed to
+// apply the plan to a concrete failure.
 package main
 
 import (
@@ -11,7 +13,7 @@ import (
 	"log"
 
 	"recycle/internal/config"
-	"recycle/internal/core"
+	"recycle/internal/engine"
 	"recycle/internal/profile"
 	"recycle/internal/schedule"
 )
@@ -30,21 +32,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	planner := core.New(job, stats)
+	eng := engine.New(job, stats, engine.Options{})
 
-	store := core.NewPlanStore()
-	if err := planner.PlanAll(store, 2); err != nil {
+	// The offline phase: one plan per tolerated failure count, solved
+	// concurrently, encoded and quorum-replicated.
+	if err := eng.PlanAll(2); err != nil {
 		log.Fatal(err)
 	}
-	ff, _ := store.Get(0)
-	adapted, _ := store.Get(2)
+	ff, err := eng.Plan(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adapted, err := eng.Plan(2)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("job: %s on %d workers (PP=%d x DP=%d)\n",
 		job.Model.Name, job.Parallel.Workers(), job.Parallel.PP, job.Parallel.DP)
 	fmt.Printf("fault-free: %6.1f ms/iter, %8.2f samples/s\n",
-		planner.IterationSeconds(ff)*1e3, planner.ThroughputSamplesPerSec(ff))
+		eng.IterationSeconds(ff)*1e3, eng.ThroughputSamplesPerSec(ff))
 	fmt.Printf("2 failures: %6.1f ms/iter, %8.2f samples/s (%.1f%% overhead; fault-scaled ideal %.1f%%)\n",
-		planner.IterationSeconds(adapted)*1e3, planner.ThroughputSamplesPerSec(adapted),
+		eng.IterationSeconds(adapted)*1e3, eng.ThroughputSamplesPerSec(adapted),
 		(float64(adapted.PeriodSlots)/float64(ff.PeriodSlots)-1)*100,
 		float64(job.Parallel.Workers())/float64(job.Parallel.Workers()-2)*100-100)
 	fmt.Printf("failure normalization per stage: %v\n", adapted.Assignment)
@@ -54,5 +63,9 @@ func main() {
 	// out-of-place worker — that is ReCycle's whole reconfiguration.
 	concrete := []schedule.Worker{{Stage: 0, Pipeline: 3}, {Stage: 3, Pipeline: 5}}
 	fmt.Printf("concrete failures %v need %d point-to-point parameter migration(s)\n",
-		concrete, core.MigrationsNeeded(concrete, adapted.Assignment))
+		concrete, eng.MigrationsNeeded(concrete, adapted))
+
+	m := eng.Metrics()
+	fmt.Printf("plan service: %d solves, %d cache hits (all plans replicated across the store)\n",
+		m.Solves, m.CacheHits)
 }

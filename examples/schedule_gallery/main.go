@@ -4,41 +4,44 @@
 // 6-micro-batch job with worker W1_2 failed: the fault-free 1F1B schedule
 // (27 slots), naive adaptive pipelining (36 slots, +33%), Decoupled
 // BackProp (29 slots, +7.4%), and the Staggered Optimizer (steady-state
-// period equal to fault-free — zero overhead).
+// period equal to fault-free — zero overhead). Each rung of the ablation
+// ladder is one plan-service engine with the matching technique set.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	"recycle/internal/core"
+	"recycle/internal/engine"
 	"recycle/internal/schedule"
-	"recycle/internal/solver"
 )
 
 func main() {
-	shape := schedule.Shape{DP: 3, PP: 4, MB: 6, Iter: 1}
-	failed := map[schedule.Worker]bool{{Stage: 2, Pipeline: 1}: true}
+	job, stats := engine.ShapeJob(3, 4, 6)
+	failed := []schedule.Worker{{Stage: 2, Pipeline: 1}}
 
-	show := func(title string, in solver.Input, period bool) {
-		s, err := solver.Solve(in)
+	mk := func(t core.Techniques, unroll int) *engine.Engine {
+		return engine.New(job, stats, engine.Options{Techniques: &t, UnrollIterations: unroll})
+	}
+	show := func(title string, plan *core.Plan, err error, period bool) {
 		if err != nil {
 			log.Fatal(err)
 		}
 		if period {
-			fmt.Printf("== %s: steady-state period %d slots\n", title, s.SteadyPeriod())
+			fmt.Printf("== %s: steady-state period %d slots\n", title, plan.PeriodSlots)
 		} else {
-			fmt.Printf("== %s: %d slots\n", title, s.ComputeMakespan(0))
+			fmt.Printf("== %s: %d slots\n", title, plan.Schedule.ComputeMakespan(0))
 		}
-		fmt.Println(schedule.Render(s, 5))
+		fmt.Println(schedule.Render(plan.Schedule, 5))
 	}
 
-	show("Fig 3a: fault-free 1F1B", solver.Input{Shape: shape, Durations: schedule.UnitSlots}, false)
-	show("Fig 3b: Adaptive Pipelining, naive insertion (W1_2 failed)",
-		solver.Input{Shape: shape, Durations: schedule.UnitSlots, Failed: failed, Naive: true}, false)
-	show("Fig 5: + Decoupled BackProp",
-		solver.Input{Shape: shape, Durations: schedule.UnitSlots, Failed: failed, Decoupled: true}, false)
-	unrolled := shape
-	unrolled.Iter = 3
-	show("Fig 6: + Staggered Optimizer (3 iterations unrolled)",
-		solver.Input{Shape: unrolled, Durations: schedule.UnitSlots, Failed: failed, Decoupled: true, Staggered: true}, true)
+	ff, err := mk(core.AllTechniques, 1).Plan(0)
+	show("Fig 3a: fault-free 1F1B", ff, err, false)
+	naive, err := mk(core.Techniques{AdaptivePipelining: true}, 1).PlanConcrete(failed)
+	show("Fig 3b: Adaptive Pipelining, naive insertion (W1_2 failed)", naive, err, false)
+	dec, err := mk(core.Techniques{AdaptivePipelining: true, DecoupledBackProp: true}, 1).PlanConcrete(failed)
+	show("Fig 5: + Decoupled BackProp", dec, err, false)
+	st, err := mk(core.AllTechniques, 3).PlanConcrete(failed)
+	show("Fig 6: + Staggered Optimizer (3 iterations unrolled)", st, err, true)
 }

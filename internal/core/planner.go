@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"recycle/internal/config"
@@ -56,7 +57,9 @@ type Planner struct {
 	Stats      profile.Stats
 	Techniques Techniques
 	// UnrollIterations controls the steady-state measurement window
-	// (>= 2; default 3).
+	// (>= 1; 0 defaults to 3). The live runtime plans one iteration at a
+	// time; throughput analyses unroll 2+ iterations so SteadyPeriod can
+	// difference consecutive makespans.
 	UnrollIterations int
 }
 
@@ -68,7 +71,7 @@ func New(job config.Job, stats profile.Stats) *Planner {
 // shape derives the schedule shape from the job.
 func (p *Planner) shape() schedule.Shape {
 	iters := p.UnrollIterations
-	if iters < 2 {
+	if iters < 1 {
 		iters = 3
 	}
 	return schedule.Shape{
@@ -95,7 +98,53 @@ func (p *Planner) PlanFor(failures int) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	failed := AssignmentWorkers(assign, sh.DP)
+	return p.solve(sh, assign, AssignmentWorkers(assign, sh.DP), start)
+}
+
+// PlanConcrete generates the adaptive plan for a specific failed-worker
+// set, skipping Failure Normalization. The live runtime Coordinator uses
+// this when a stored normalized plan does not match the concrete failure
+// locations and migrating parameters is not worth it (or, in-process, not
+// meaningful); the figure gallery uses it to reproduce the paper's running
+// example with worker W1_2 failed.
+func (p *Planner) PlanConcrete(failed []schedule.Worker) (*Plan, error) {
+	sh := p.shape()
+	assign := make([]int, sh.PP)
+	seen := make(map[schedule.Worker]bool, len(failed))
+	for _, w := range failed {
+		if w.Stage < 0 || w.Stage >= sh.PP || w.Pipeline < 0 || w.Pipeline >= sh.DP {
+			return nil, fmt.Errorf("core: failed worker %s outside the %dx%d job", w, sh.DP, sh.PP)
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("core: duplicate failed worker %s", w)
+		}
+		seen[w] = true
+		assign[w.Stage]++
+	}
+	ws := append([]schedule.Worker(nil), failed...)
+	SortWorkers(ws)
+	return p.solve(sh, assign, ws, time.Now())
+}
+
+// SortWorkers orders workers canonically by (stage, pipeline) — the one
+// ordering used for concrete plans, plan-store keys, wire encoding and
+// failed-set comparison.
+func SortWorkers(ws []schedule.Worker) {
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Stage != ws[j].Stage {
+			return ws[i].Stage < ws[j].Stage
+		}
+		return ws[i].Pipeline < ws[j].Pipeline
+	})
+}
+
+// solve runs the schedule generation phase shared by PlanFor and
+// PlanConcrete: the failed-worker set is fixed, the techniques translate
+// into solver toggles, and the result is wrapped into a Plan.
+func (p *Planner) solve(sh schedule.Shape, assign []int, failed []schedule.Worker, start time.Time) (*Plan, error) {
+	if !p.Techniques.AdaptivePipelining && len(failed) > 0 {
+		return nil, fmt.Errorf("core: %d failures but Adaptive Pipelining disabled — no recovery path without spares", len(failed))
+	}
 	failedSet := make(map[schedule.Worker]bool, len(failed))
 	for _, w := range failed {
 		failedSet[w] = true
@@ -113,15 +162,12 @@ func (p *Planner) PlanFor(failures int) (*Plan, error) {
 		// ablation measures as "Adaptive Pipelining" alone).
 		Naive: !p.Techniques.DecoupledBackProp,
 	}
-	if !p.Techniques.AdaptivePipelining && failures > 0 {
-		return nil, fmt.Errorf("core: %d failures but Adaptive Pipelining disabled — no recovery path without spares", failures)
-	}
 	s, err := solver.Solve(in)
 	if err != nil {
 		return nil, err
 	}
 	return &Plan{
-		Failures:    failures,
+		Failures:    len(failed),
 		Assignment:  assign,
 		Failed:      failed,
 		Schedule:    s,

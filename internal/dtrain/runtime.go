@@ -6,9 +6,9 @@ import (
 	"sync"
 	"time"
 
+	"recycle/internal/engine"
 	"recycle/internal/nn"
 	"recycle/internal/schedule"
-	"recycle/internal/solver"
 	"recycle/internal/tensor"
 )
 
@@ -45,6 +45,12 @@ type Runtime struct {
 	Cfg     Config
 	Dataset *Dataset
 
+	// eng is the plan service (Fig 8): the coordinator fetches adaptive
+	// schedules for the current failure set from it — replicated store
+	// first, Best(n) fallback, on-demand solve on miss — instead of
+	// invoking the solver directly.
+	eng *engine.Engine
+
 	stages map[schedule.Worker]*nn.Stage
 	opts   map[schedule.Worker]nn.Optimizer
 	failed map[schedule.Worker]bool
@@ -59,8 +65,10 @@ type Runtime struct {
 // New builds a healthy DP x PP runtime with identical stage replicas
 // across data-parallel pipelines.
 func New(cfg Config) *Runtime {
+	job, stats := engine.ShapeJob(cfg.DP, cfg.PP, cfg.MB)
 	rt := &Runtime{
 		Cfg:       cfg,
+		eng:       engine.New(job, stats, engine.Options{UnrollIterations: 1}),
 		Dataset:   NewDataset(cfg.InDim, cfg.OutDim, cfg.MicroBatchSize, cfg.Seed),
 		stages:    make(map[schedule.Worker]*nn.Stage),
 		opts:      make(map[schedule.Worker]nn.Optimizer),
@@ -138,20 +146,25 @@ func (rt *Runtime) StageParams(w schedule.Worker) []*nn.Param {
 	return rt.stages[w].Params()
 }
 
-// plan compiles the adaptive schedule for the current failure set.
+// plan fetches the adaptive schedule for the current failure set from the
+// plan service — the Coordinator flow of §4.1: a stored plan when one
+// matches, an on-demand solve otherwise, each failure set solved at most
+// once across the run.
 func (rt *Runtime) plan() (*schedule.Schedule, error) {
-	failed := make(map[schedule.Worker]bool, len(rt.failed))
-	for w := range rt.failed {
-		failed[w] = true
-	}
-	return solver.Solve(solver.Input{
-		Shape:     schedule.Shape{DP: rt.Cfg.DP, PP: rt.Cfg.PP, MB: rt.Cfg.MB, Iter: 1},
-		Durations: schedule.UnitSlots,
-		Failed:    failed,
-		Decoupled: true,
-		Staggered: true,
-	})
+	return rt.eng.ScheduleFor(rt.failed)
 }
+
+// PrePlan precomputes normalized plans for 0..maxFailures concurrently and
+// replicates them — the offline Planner phase of Fig 8. maxFailures <= 0
+// selects DP-1.
+func (rt *Runtime) PrePlan(maxFailures int) error {
+	return rt.eng.PlanAll(maxFailures)
+}
+
+// PlanMetrics reports the plan service's traffic counters: how many
+// schedules were solved, served from cache, or fetched from the replicated
+// store over the run so far.
+func (rt *Runtime) PlanMetrics() engine.Metrics { return rt.eng.Metrics() }
 
 // RunIteration executes one full training iteration — forward, backward,
 // all-reduce, staggered optimizer step with post-step validation — under

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"recycle/internal/core"
+	"recycle/internal/schedule"
+)
+
+// CodecVersion is the wire-format version EncodePlan stamps into every
+// encoded plan. DecodePlan rejects any other version, so a rolling upgrade
+// of the plan service can never misread plans written by a newer codec.
+const CodecVersion = 1
+
+// wirePlan is the serialized form of core.Plan. The schedule's derived
+// indexes (per-worker streams, per-op lookup) are not encoded; DecodePlan
+// rebuilds them with schedule.New, which also re-sorts placements into the
+// canonical deterministic order, so a decoded plan is structurally
+// identical to the plan that was encoded.
+type wirePlan struct {
+	Version     int
+	Failures    int
+	Assignment  []int
+	Failed      []schedule.Worker
+	PeriodSlots int64
+	PlanTimeNS  int64
+	Schedule    wireSchedule
+}
+
+// wireSchedule flattens schedule.Schedule: the failed-worker set becomes a
+// list (JSON cannot key maps by struct), placements carry everything else.
+type wireSchedule struct {
+	Shape      schedule.Shape
+	Durations  schedule.Durations
+	Failed     []schedule.Worker
+	Placements []schedule.Placement
+}
+
+// EncodePlan serializes a plan into the canonical versioned byte format
+// stored in the replicated plan store.
+func EncodePlan(p *core.Plan) ([]byte, error) {
+	if p == nil || p.Schedule == nil {
+		return nil, fmt.Errorf("engine: refusing to encode an empty plan")
+	}
+	s := p.Schedule
+	w := wirePlan{
+		Version:     CodecVersion,
+		Failures:    p.Failures,
+		Assignment:  p.Assignment,
+		Failed:      p.Failed,
+		PeriodSlots: p.PeriodSlots,
+		PlanTimeNS:  int64(p.PlanTime),
+		Schedule: wireSchedule{
+			Shape:      s.Shape,
+			Durations:  s.Durations,
+			Failed:     workerList(s.Failed),
+			Placements: s.Placements,
+		},
+	}
+	return json.Marshal(w)
+}
+
+// DecodePlan parses bytes written by EncodePlan, validates the codec
+// version and the schedule shape, and rebuilds the plan with its derived
+// schedule indexes.
+func DecodePlan(data []byte) (*core.Plan, error) {
+	var w wirePlan
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("engine: undecodable plan: %w", err)
+	}
+	if w.Version != CodecVersion {
+		return nil, fmt.Errorf("engine: plan codec version %d, want %d", w.Version, CodecVersion)
+	}
+	if err := w.Schedule.Shape.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: decoded plan: %w", err)
+	}
+	if len(w.Schedule.Placements) == 0 {
+		return nil, fmt.Errorf("engine: decoded plan has no placements")
+	}
+	failedSet := make(map[schedule.Worker]bool, len(w.Schedule.Failed))
+	for _, fw := range w.Schedule.Failed {
+		failedSet[fw] = true
+	}
+	s := schedule.New(w.Schedule.Shape, w.Schedule.Durations, failedSet, w.Schedule.Placements)
+	return &core.Plan{
+		Failures:    w.Failures,
+		Assignment:  w.Assignment,
+		Failed:      w.Failed,
+		Schedule:    s,
+		PeriodSlots: w.PeriodSlots,
+		PlanTime:    time.Duration(w.PlanTimeNS),
+	}, nil
+}
+
+// workerList flattens a failed-worker set into a deterministic sorted list.
+func workerList(set map[schedule.Worker]bool) []schedule.Worker {
+	if len(set) == 0 {
+		return nil
+	}
+	ws := make([]schedule.Worker, 0, len(set))
+	for w := range set {
+		ws = append(ws, w)
+	}
+	core.SortWorkers(ws)
+	return ws
+}

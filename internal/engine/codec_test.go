@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"recycle/internal/core"
+	"recycle/internal/schedule"
+)
+
+// testPlanner builds a planner over a small unit-cost job.
+func testPlanner(t *testing.T) *core.Planner {
+	t.Helper()
+	job, stats := ShapeJob(4, 4, 8)
+	p := core.New(job, stats)
+	p.UnrollIterations = 2
+	return p
+}
+
+// concreteFailures is a failure set that normalization would never pick.
+func concreteFailures() []schedule.Worker {
+	return []schedule.Worker{{Stage: 0, Pipeline: 1}, {Stage: 1, Pipeline: 2}}
+}
+
+// TestEncodeDecodeRoundTrip checks the headline codec property: a plan
+// round-trips through bytes into a structurally identical plan — schedule
+// placements, failed sets, assignment, period and planning latency.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := testPlanner(t)
+	for f := 0; f <= 3; f++ {
+		plan, err := p.PlanFor(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := EncodePlan(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodePlan(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plan, got) {
+			t.Errorf("f=%d: decoded plan differs from original", f)
+		}
+	}
+}
+
+// TestEncodeDecodeConcreteRoundTrip covers plans for concrete failure
+// sets, whose failed workers are not the normalized ones.
+func TestEncodeDecodeConcreteRoundTrip(t *testing.T) {
+	p := testPlanner(t)
+	plan, err := p.PlanConcrete(concreteFailures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan, got) {
+		t.Error("decoded concrete plan differs from original")
+	}
+}
+
+// TestEncodeRejectsEmptyPlan checks the encoder's guard.
+func TestEncodeRejectsEmptyPlan(t *testing.T) {
+	if _, err := EncodePlan(nil); err == nil {
+		t.Error("encoding a nil plan should fail")
+	}
+	if _, err := EncodePlan(&core.Plan{}); err == nil {
+		t.Error("encoding a schedule-less plan should fail")
+	}
+}
+
+// TestDecodeRejectsBadInput checks version and corruption handling.
+func TestDecodeRejectsBadInput(t *testing.T) {
+	if _, err := DecodePlan([]byte("not json")); err == nil {
+		t.Error("garbage bytes should not decode")
+	}
+	if _, err := DecodePlan([]byte(`{"Version":99}`)); err == nil {
+		t.Error("unknown codec version should not decode")
+	}
+	if _, err := DecodePlan([]byte(`{"Version":1}`)); err == nil {
+		t.Error("a plan with no placements should not decode")
+	}
+}

@@ -1,0 +1,434 @@
+// Package engine is the plan service: the single entry point every
+// consumer — the live runtime Coordinator (internal/dtrain), the
+// discrete-event simulator (internal/sim), the cmd/ binaries and the
+// examples — uses to obtain adaptive pipeline schedules.
+//
+// It owns the full solve→plan→store→fetch lifecycle of Fig 8:
+//
+//   - PlanAll precomputes the plan for every tolerated failure count
+//     concurrently with a bounded worker pool (each count is an
+//     independent CPU-bound solve);
+//   - every plan round-trips through the quorum-replicated plan store
+//     (internal/planstore, standing in for the paper's etcd) via the
+//     canonical versioned codec (EncodePlan/DecodePlan), so a plan
+//     written by one engine survives replica failures and is readable by
+//     any other engine sharing the store;
+//   - Plan / PlanConcrete are get-or-solve with request coalescing:
+//     concurrent callers asking for the same (job fingerprint,
+//     techniques, failure count) trigger exactly one solve;
+//   - ScheduleFor is the Coordinator's failure-handling fetch path
+//     (§4.1): exact plan from cache/store, then Best(n) fallback, then
+//     on-demand solve on miss.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"recycle/internal/config"
+	"recycle/internal/core"
+	"recycle/internal/planstore"
+	"recycle/internal/profile"
+	"recycle/internal/schedule"
+)
+
+// Options tunes an Engine. The zero value selects full ReCycle techniques,
+// the planner's default unroll window, one worker per CPU and a fresh
+// 3-replica plan store.
+type Options struct {
+	// Techniques overrides the ReCycle technique toggles (nil selects
+	// core.AllTechniques).
+	Techniques *core.Techniques
+	// UnrollIterations overrides the planner's steady-state unroll window
+	// (0 keeps the planner default; the live runtime plans 1 iteration).
+	UnrollIterations int
+	// Workers bounds the PlanAll worker pool (0 selects GOMAXPROCS).
+	Workers int
+	// Store injects a (possibly shared) replicated plan store. Nil
+	// creates a private 3-replica store, matching a small etcd deployment.
+	Store *planstore.Store
+}
+
+// Metrics is a snapshot of the engine's plan-traffic counters.
+type Metrics struct {
+	CacheHits   uint64 // served from the in-process cache
+	StoreHits   uint64 // decoded out of the replicated store
+	BestHits    uint64 // served via the Best(n) normalized-plan fallback
+	Solves      uint64 // full solver runs
+	Coalesced   uint64 // callers that waited on another caller's solve
+	StoreErrors uint64 // store reads/writes that lost quorum or misparsed
+}
+
+// call is one in-flight solve that concurrent requesters coalesce onto.
+type call struct {
+	done chan struct{}
+	plan *core.Plan
+	err  error
+}
+
+// Engine is the plan service for one training job. It is safe for
+// concurrent use.
+type Engine struct {
+	planner *core.Planner
+	store   *planstore.Store
+	workers int
+
+	mu       sync.Mutex
+	cache    map[string]*core.Plan
+	inflight map[string]*call
+	// norm indexes the normalized plans seen so far for Best(n), one
+	// store per job fingerprint so technique/unroll retuning on the live
+	// planner can never surface a plan solved under different toggles.
+	norm map[string]*core.PlanStore
+
+	cacheHits, storeHits, bestHits atomic.Uint64
+	solves, coalesced, storeErrs   atomic.Uint64
+}
+
+// New builds the plan service for a job.
+func New(job config.Job, stats profile.Stats, opts Options) *Engine {
+	planner := core.New(job, stats)
+	if opts.Techniques != nil {
+		planner.Techniques = *opts.Techniques
+	}
+	if opts.UnrollIterations > 0 {
+		planner.UnrollIterations = opts.UnrollIterations
+	}
+	store := opts.Store
+	if store == nil {
+		store = planstore.New(3)
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		planner:  planner,
+		store:    store,
+		workers:  workers,
+		cache:    make(map[string]*core.Plan),
+		inflight: make(map[string]*call),
+		norm:     make(map[string]*core.PlanStore),
+	}
+}
+
+// ShapeJob builds a synthetic unit-cost job whose only meaningful content
+// is the pipeline geometry (DP pipelines × PP stages × mb micro-batches
+// per pipeline). The live runtime, the figure gallery and the sim-fidelity
+// experiment plan at this level, where op durations are supplied directly
+// rather than derived from a transformer cost model.
+func ShapeJob(dp, pp, mb int) (config.Job, profile.Stats) {
+	job := config.Job{
+		Model:    config.Model{Name: fmt.Sprintf("synthetic %dx%dx%d", dp, pp, mb), Layers: pp, Hidden: 1, Heads: 1, SeqLen: 1, VocabSize: 1, BytesParam: 2},
+		Parallel: config.Parallelism{DP: dp, PP: pp, TP: 1},
+		Batch:    config.Batch{GlobalBatch: dp * mb, MicroBatch: 1},
+		Hardware: config.A100x1,
+	}
+	return job, profile.Unit()
+}
+
+// Planner exposes the underlying planner (for technique retuning and the
+// throughput helpers' inputs). The engine keys its cache by the planner's
+// live configuration — each request snapshots the configuration once, so
+// the key and the solve always agree — which makes retuning between
+// requests safe. Retuning concurrently with in-flight requests requires
+// external synchronization, like any unguarded field write.
+func (e *Engine) Planner() *core.Planner { return e.planner }
+
+// snapshot copies the planner's current configuration so one request's
+// fingerprint and solve cannot see different technique toggles.
+func (e *Engine) snapshot() *core.Planner {
+	e.mu.Lock()
+	p := *e.planner
+	e.mu.Unlock()
+	return &p
+}
+
+// Job returns the job this engine plans for.
+func (e *Engine) Job() config.Job { return e.planner.Job }
+
+// Store returns the replicated plan store backing this engine.
+func (e *Engine) Store() *planstore.Store { return e.store }
+
+// Metrics returns a snapshot of the plan-traffic counters.
+func (e *Engine) Metrics() Metrics {
+	return Metrics{
+		CacheHits:   e.cacheHits.Load(),
+		StoreHits:   e.storeHits.Load(),
+		BestHits:    e.bestHits.Load(),
+		Solves:      e.solves.Load(),
+		Coalesced:   e.coalesced.Load(),
+		StoreErrors: e.storeErrs.Load(),
+	}
+}
+
+// IterationSeconds converts a plan's steady-state period into wall-clock
+// seconds.
+func (e *Engine) IterationSeconds(p *core.Plan) float64 {
+	return e.planner.IterationSeconds(p)
+}
+
+// ThroughputSamplesPerSec returns the plan's steady-state training
+// throughput.
+func (e *Engine) ThroughputSamplesPerSec(p *core.Plan) float64 {
+	return e.planner.ThroughputSamplesPerSec(p)
+}
+
+// MigrationsNeeded returns how many point-to-point parameter copies morph
+// a concrete failure set into the plan's normalized layout.
+func (e *Engine) MigrationsNeeded(concrete []schedule.Worker, p *core.Plan) int {
+	return core.MigrationsNeeded(concrete, p.Assignment)
+}
+
+// Plan returns the normalized plan for n simultaneous failures:
+// in-process cache, then replicated store, then one coalesced solve.
+func (e *Engine) Plan(n int) (*core.Plan, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("engine: negative failure count %d", n)
+	}
+	pl := e.snapshot()
+	fp := fingerprintOf(pl)
+	return e.getOrSolve(normKey(fp, n), fp, true, func() (*core.Plan, error) { return pl.PlanFor(n) })
+}
+
+// PlanConcrete returns the plan for one specific failed-worker set,
+// bypassing failure normalization. Same get-or-solve lifecycle as Plan.
+func (e *Engine) PlanConcrete(failed []schedule.Worker) (*core.Plan, error) {
+	ws := append([]schedule.Worker(nil), failed...)
+	core.SortWorkers(ws)
+	pl := e.snapshot()
+	fp := fingerprintOf(pl)
+	return e.getOrSolve(concreteKey(fp, ws), fp, false, func() (*core.Plan, error) { return pl.PlanConcrete(ws) })
+}
+
+// Best returns the plan for n failures, falling back to the smallest plan
+// covering more than n failures among those this engine has seen (a plan
+// for more failures always routes around at least the workers that are
+// down). The exact count is first sought in the cache and the replicated
+// store.
+func (e *Engine) Best(n int) (*core.Plan, bool) {
+	fp := fingerprintOf(e.snapshot())
+	if p, ok := e.peek(normKey(fp, n), fp, true); ok {
+		return p, true
+	}
+	return e.normStore(fp).Best(n)
+}
+
+// best is Best without the traffic counters, used by ScheduleFor so each
+// Coordinator fetch lands in exactly one metrics tier.
+func (e *Engine) best(fp string, n int) (*core.Plan, bool) {
+	key := normKey(fp, n)
+	e.mu.Lock()
+	if p, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		return p, true
+	}
+	e.mu.Unlock()
+	if p := e.loadQuiet(key); p != nil {
+		e.admit(key, fp, p, true)
+		return p, true
+	}
+	return e.normStore(fp).Best(n)
+}
+
+// ScheduleFor is the Coordinator's failure-handling path (§4.1, Fig 8):
+// given the concrete failed-worker set, fetch the exact concrete plan from
+// cache/store; fall back to the stored normalized Best(n) plan when its
+// failed set coincides with the concrete one (zero migrations needed);
+// otherwise solve on demand and persist the result.
+func (e *Engine) ScheduleFor(failed map[schedule.Worker]bool) (*schedule.Schedule, error) {
+	if len(failed) == 0 {
+		p, err := e.Plan(0)
+		if err != nil {
+			return nil, err
+		}
+		return p.Schedule, nil
+	}
+	ws := make([]schedule.Worker, 0, len(failed))
+	for w := range failed {
+		ws = append(ws, w)
+	}
+	core.SortWorkers(ws)
+	fp := fingerprintOf(e.snapshot())
+	if p, ok := e.peek(concreteKey(fp, ws), fp, false); ok {
+		return p.Schedule, nil
+	}
+	if p, ok := e.best(fp, len(ws)); ok {
+		norm := append([]schedule.Worker(nil), p.Failed...)
+		core.SortWorkers(norm)
+		if sameWorkers(norm, ws) {
+			e.bestHits.Add(1)
+			return p.Schedule, nil
+		}
+	}
+	p, err := e.PlanConcrete(ws)
+	if err != nil {
+		return nil, err
+	}
+	return p.Schedule, nil
+}
+
+// PlanAll precomputes normalized plans for 0..maxFailures simultaneous
+// failures — the offline phase of Fig 8 — fanning the independent solves
+// out over a bounded worker pool. maxFailures <= 0 selects the job's
+// fault-tolerance threshold (default DP-1). Every plan lands in the cache
+// and the replicated store.
+func (e *Engine) PlanAll(maxFailures int) error {
+	if maxFailures <= 0 {
+		maxFailures = e.planner.Job.MaxPlannedFailures()
+	}
+	sem := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for f := 0; f <= maxFailures; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mu.Lock()
+			stop := firstErr != nil
+			mu.Unlock()
+			if stop {
+				return
+			}
+			if _, err := e.Plan(f); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("engine: planning %d failures: %w", f, err)
+				}
+				mu.Unlock()
+			}
+		}(f)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// peek returns the plan under key from the cache or the replicated store
+// without ever solving. Store hits are promoted into the cache (and the
+// Best(n) index when normalized).
+func (e *Engine) peek(key, fp string, normalized bool) (*core.Plan, bool) {
+	e.mu.Lock()
+	if p, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		e.cacheHits.Add(1)
+		return p, true
+	}
+	e.mu.Unlock()
+	if p := e.load(key); p != nil {
+		e.admit(key, fp, p, normalized)
+		return p, true
+	}
+	return nil, false
+}
+
+// getOrSolve is the coalescing get-or-solve core: one solve per key no
+// matter how many callers arrive concurrently.
+func (e *Engine) getOrSolve(key, fp string, normalized bool, solve func() (*core.Plan, error)) (*core.Plan, error) {
+	e.mu.Lock()
+	if p, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		e.cacheHits.Add(1)
+		return p, nil
+	}
+	if c, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		e.coalesced.Add(1)
+		<-c.done
+		return c.plan, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.mu.Unlock()
+
+	p := e.load(key)
+	var err error
+	if p == nil {
+		e.solves.Add(1)
+		p, err = solve()
+		if err == nil {
+			e.persist(key, p)
+		}
+	}
+	if err == nil {
+		e.admit(key, fp, p, normalized)
+	}
+	e.mu.Lock()
+	delete(e.inflight, key)
+	e.mu.Unlock()
+	c.plan, c.err = p, err
+	close(c.done)
+	return p, err
+}
+
+// load fetches and decodes a plan from the replicated store, counting the
+// hit.
+func (e *Engine) load(key string) *core.Plan {
+	p := e.loadQuiet(key)
+	if p != nil {
+		e.storeHits.Add(1)
+	}
+	return p
+}
+
+// loadQuiet is load without the StoreHits counter. A lost read quorum or
+// a corrupt value degrades to a miss (the engine can always re-solve) and
+// is counted in StoreErrors.
+func (e *Engine) loadQuiet(key string) *core.Plan {
+	data, ok, err := e.store.Get(key)
+	if err != nil {
+		e.storeErrs.Add(1)
+		return nil
+	}
+	if !ok {
+		return nil
+	}
+	p, err := DecodePlan(data)
+	if err != nil {
+		e.storeErrs.Add(1)
+		return nil
+	}
+	return p
+}
+
+// persist encodes the plan and replicates it. A lost write quorum does not
+// fail the request — the caller still gets its plan — but is counted.
+func (e *Engine) persist(key string, p *core.Plan) {
+	data, err := EncodePlan(p)
+	if err != nil {
+		e.storeErrs.Add(1)
+		return
+	}
+	if err := e.store.Put(key, data); err != nil {
+		e.storeErrs.Add(1)
+	}
+}
+
+// admit installs a plan into the in-process cache and, for normalized
+// plans, the fingerprint's Best(n) index.
+func (e *Engine) admit(key, fp string, p *core.Plan, normalized bool) {
+	e.mu.Lock()
+	e.cache[key] = p
+	e.mu.Unlock()
+	if normalized {
+		// Put only rejects empty plans, which cannot reach here.
+		_ = e.normStore(fp).Put(p)
+	}
+}
+
+// normStore returns (creating on first use) the Best(n) index for one job
+// fingerprint.
+func (e *Engine) normStore(fp string) *core.PlanStore {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.norm[fp]
+	if s == nil {
+		s = core.NewPlanStore()
+		e.norm[fp] = s
+	}
+	return s
+}

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"recycle/internal/config"
+	"recycle/internal/core"
+	"recycle/internal/profile"
+	"recycle/internal/schedule"
+)
+
+// fingerprintInput is everything that determines a plan besides the
+// failure set: the job geometry, the profiled statistics, the technique
+// toggles and the unroll window. Two engines with equal fingerprints
+// produce interchangeable plans, so the fingerprint namespaces every key
+// in the shared replicated store.
+type fingerprintInput struct {
+	Job        config.Job
+	Stats      profile.Stats
+	Techniques core.Techniques
+	Unroll     int
+}
+
+// Fingerprint derives the deterministic job fingerprint used to key plans.
+func Fingerprint(job config.Job, stats profile.Stats, t core.Techniques, unroll int) string {
+	b, err := json.Marshal(fingerprintInput{Job: job, Stats: stats, Techniques: t, Unroll: unroll})
+	if err != nil {
+		// The input is plain data; Marshal cannot fail. Guard anyway so a
+		// future non-marshalable field degrades to a shared namespace
+		// instead of a panic.
+		return "unfingerprintable"
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:12])
+}
+
+// fingerprintOf keys a planner configuration. It is computed per request
+// (not cached) so callers that retune Techniques on a live planner — the
+// Fig 11 ablation does — transparently address a different key namespace
+// instead of poisoning the cache.
+func fingerprintOf(p *core.Planner) string {
+	return Fingerprint(p.Job, p.Stats, p.Techniques, p.UnrollIterations)
+}
+
+// normKey addresses the normalized plan for n simultaneous failures — the
+// paper's "one plan per tolerated failure count" store layout (§4.2).
+func normKey(fp string, n int) string {
+	return fmt.Sprintf("plans/%s/n/%d", fp, n)
+}
+
+// concreteKey addresses a plan solved for one specific failed-worker set,
+// used by the live runtime when no normalized plan matches. Workers must
+// already be sorted.
+func concreteKey(fp string, ws []schedule.Worker) string {
+	parts := make([]string, len(ws))
+	for i, w := range ws {
+		parts[i] = fmt.Sprintf("%d.%d", w.Stage, w.Pipeline)
+	}
+	return fmt.Sprintf("plans/%s/c/%s", fp, strings.Join(parts, ","))
+}
+
+// sameWorkers reports whether two sorted worker lists are identical.
+func sameWorkers(a, b []schedule.Worker) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -7,56 +7,61 @@ import (
 
 	"recycle/internal/config"
 	"recycle/internal/core"
+	"recycle/internal/engine"
 	"recycle/internal/failure"
 	"recycle/internal/profile"
 	"recycle/internal/schedule"
 	"recycle/internal/sim"
-	"recycle/internal/solver"
 )
 
 // GallerySlots reproduces the running example's slot counts (Figs 3a, 3b,
-// 5 and 6): fault-free 27, adaptive-coupled, decoupled 29, staggered
-// steady-state == fault-free.
+// 5 and 6): fault-free 27, naive adaptive insertion 36, decoupled 29,
+// staggered steady-state == fault-free.
 type GallerySlots struct {
 	FaultFree       int64
-	AdaptiveCoupled int64
+	AdaptiveNaive   int64
 	Decoupled       int64
 	StaggeredPeriod int64
 	FaultFreePeriod int64
 }
 
-// Gallery computes the Figs 3/5/6 slot counts.
+// Gallery computes the Figs 3/5/6 slot counts via the plan service, one
+// engine per technique configuration of the ablation ladder, with the
+// paper's concrete failed worker W1_2.
 func Gallery() (GallerySlots, error) {
-	shape := schedule.Shape{DP: 3, PP: 4, MB: 6, Iter: 1}
-	failed := map[schedule.Worker]bool{{Stage: 2, Pipeline: 1}: true}
+	job, stats := engine.ShapeJob(3, 4, 6)
+	failed := []schedule.Worker{{Stage: 2, Pipeline: 1}}
+	adaptive := core.Techniques{AdaptivePipelining: true}
+	decoupled := core.Techniques{AdaptivePipelining: true, DecoupledBackProp: true}
+	mk := func(t core.Techniques, unroll int) *engine.Engine {
+		return engine.New(job, stats, engine.Options{Techniques: &t, UnrollIterations: unroll})
+	}
 	var g GallerySlots
-	ff, err := solver.Solve(solver.Input{Shape: shape, Durations: schedule.UnitSlots})
+	ff, err := mk(core.AllTechniques, 1).Plan(0)
 	if err != nil {
 		return g, err
 	}
-	g.FaultFree = ff.ComputeMakespan(0)
-	ac, err := solver.Solve(solver.Input{Shape: shape, Durations: schedule.UnitSlots, Failed: failed})
+	g.FaultFree = ff.Schedule.ComputeMakespan(0)
+	naive, err := mk(adaptive, 1).PlanConcrete(failed)
 	if err != nil {
 		return g, err
 	}
-	g.AdaptiveCoupled = ac.ComputeMakespan(0)
-	dec, err := solver.Solve(solver.Input{Shape: shape, Durations: schedule.UnitSlots, Failed: failed, Decoupled: true})
+	g.AdaptiveNaive = naive.Schedule.ComputeMakespan(0)
+	dec, err := mk(decoupled, 1).PlanConcrete(failed)
 	if err != nil {
 		return g, err
 	}
-	g.Decoupled = dec.ComputeMakespan(0)
-	unrolled := shape
-	unrolled.Iter = 4
-	st, err := solver.Solve(solver.Input{Shape: unrolled, Durations: schedule.UnitSlots, Failed: failed, Decoupled: true, Staggered: true})
+	g.Decoupled = dec.Schedule.ComputeMakespan(0)
+	st, err := mk(core.AllTechniques, 4).PlanConcrete(failed)
 	if err != nil {
 		return g, err
 	}
-	g.StaggeredPeriod = st.SteadyPeriod()
-	ffu, err := solver.Solve(solver.Input{Shape: unrolled, Durations: schedule.UnitSlots})
+	g.StaggeredPeriod = st.PeriodSlots
+	ffu, err := mk(core.AllTechniques, 4).Plan(0)
 	if err != nil {
 		return g, err
 	}
-	g.FaultFreePeriod = ffu.SteadyPeriod()
+	g.FaultFreePeriod = ffu.PeriodSlots
 	return g, nil
 }
 

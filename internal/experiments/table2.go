@@ -6,8 +6,9 @@ import (
 	"time"
 
 	"recycle/internal/dtrain"
+	"recycle/internal/engine"
+	"recycle/internal/profile"
 	"recycle/internal/schedule"
-	"recycle/internal/solver"
 )
 
 // Table2Row compares the simulator's predicted iteration latency against
@@ -70,18 +71,20 @@ func Table2() ([]Table2Row, string, error) {
 		}
 		measured := time.Since(start).Seconds() / meas
 
-		failedSet := map[schedule.Worker]bool{}
-		for _, w := range c.failures {
-			failedSet[w] = true
+		// The simulator-side prediction comes from the same plan service
+		// the runtime uses, with the calibrated per-op delays as the
+		// profiled statistics (1 duration unit = 1 microsecond).
+		job, _ := engine.ShapeJob(c.cfg.DP, c.cfg.PP, c.cfg.MB)
+		stats := profile.Stats{
+			TF: delays.F, TBInput: delays.BInput, TBWeight: delays.BWeight,
+			TOpt: delays.Opt, TComm: delays.Comm, UnitSeconds: 1e-6,
 		}
-		sched, err := solver.Solve(solver.Input{
-			Shape:     schedule.Shape{DP: c.cfg.DP, PP: c.cfg.PP, MB: c.cfg.MB, Iter: 1},
-			Durations: delays, Failed: failedSet, Decoupled: true, Staggered: true,
-		})
+		eng := engine.New(job, stats, engine.Options{UnrollIterations: 1})
+		plan, err := eng.PlanConcrete(c.failures)
 		if err != nil {
 			return nil, "", err
 		}
-		predicted := float64(sched.Makespan(0, nil)) * 1e-6
+		predicted := float64(plan.Schedule.Makespan(0, nil)) * 1e-6
 		gap := (measured - predicted) / measured * 100
 		row := Table2Row{Name: c.name, Failures: len(c.failures), PredictedSec: predicted, MeasuredSec: measured, GapPct: gap}
 		rows = append(rows, row)

@@ -2,56 +2,56 @@ package sim
 
 import (
 	"fmt"
-	"sync"
 
 	"recycle/internal/config"
 	"recycle/internal/core"
+	"recycle/internal/engine"
 	"recycle/internal/profile"
 )
 
-// ReCycle adapts the Planner (internal/core) to the simulator's System
-// interface: steady-state throughput comes from the precomputed adaptive
-// schedule for the current failure count, and reconfiguration is a
-// detection delay plus one point-to-point parameter migration per new
+// ReCycle adapts the plan service (internal/engine) to the simulator's
+// System interface: steady-state throughput comes from the precomputed
+// adaptive schedule for the current failure count, and reconfiguration is
+// a detection delay plus one point-to-point parameter migration per new
 // failure (Failure Normalization, §4.2.1).
 type ReCycle struct {
+	// Planner is the engine's planner, exposed for technique retuning
+	// (the Fig 11 ablation) and the throughput conversion helpers.
 	Planner *core.Planner
 	// DetectSeconds is the failure-detection latency charged per event.
 	DetectSeconds float64
 
-	mu    sync.Mutex
-	store *core.PlanStore
+	eng *engine.Engine
 }
 
 // NewReCycle builds the simulator adapter with full techniques.
 func NewReCycle(job config.Job, stats profile.Stats) *ReCycle {
+	eng := engine.New(job, stats, engine.Options{})
 	return &ReCycle{
-		Planner:       core.New(job, stats),
+		Planner:       eng.Planner(),
 		DetectSeconds: 5,
-		store:         core.NewPlanStore(),
+		eng:           eng,
 	}
 }
 
 // Name implements System.
 func (r *ReCycle) Name() string { return "ReCycle" }
 
-// Plan returns (planning and caching on demand) the adaptive plan for n
-// failures.
+// Plan returns the adaptive plan for n failures via the plan service's
+// get-or-solve path (cache, then replicated store, then one solve).
 func (r *ReCycle) Plan(n int) (*core.Plan, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if p, ok := r.store.Get(n); ok {
-		return p, nil
-	}
-	p, err := r.Planner.PlanFor(n)
-	if err != nil {
-		return nil, err
-	}
-	if err := r.store.Put(p); err != nil {
-		return nil, err
-	}
-	return p, nil
+	return r.eng.Plan(n)
 }
+
+// PrePlan runs the offline phase of Fig 8: plans for 0..maxFailures are
+// solved concurrently and replicated before the simulation starts.
+// maxFailures <= 0 selects the job's fault-tolerance threshold.
+func (r *ReCycle) PrePlan(maxFailures int) error {
+	return r.eng.PlanAll(maxFailures)
+}
+
+// PlanMetrics reports the plan service's traffic counters.
+func (r *ReCycle) PlanMetrics() engine.Metrics { return r.eng.Metrics() }
 
 // Throughput implements System.
 func (r *ReCycle) Throughput(failed int) (float64, error) {
