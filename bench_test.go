@@ -10,11 +10,11 @@ import (
 	"time"
 
 	"recycle/internal/config"
-	"recycle/internal/core"
 	"recycle/internal/engine"
 	"recycle/internal/experiments"
 	"recycle/internal/profile"
 	"recycle/internal/schedule"
+	"recycle/internal/sim"
 )
 
 // gallery worker W1_2, the running example's failure.
@@ -22,9 +22,9 @@ var galleryFailed = []schedule.Worker{{Stage: 2, Pipeline: 1}}
 
 // galleryPlanner builds the running example's planner for one technique
 // rung of the ablation ladder.
-func galleryPlanner(t core.Techniques, unroll int) *core.Planner {
+func galleryPlanner(t engine.Techniques, unroll int) *engine.Planner {
 	job, stats := engine.ShapeJob(3, 4, 6)
-	p := core.New(job, stats)
+	p := engine.NewPlanner(job, stats)
 	p.Techniques = t
 	p.UnrollIterations = unroll
 	return p
@@ -32,7 +32,7 @@ func galleryPlanner(t core.Techniques, unroll int) *core.Planner {
 
 // BenchmarkFig3FaultFree1F1B regenerates Figure 3a (27 slots).
 func BenchmarkFig3FaultFree1F1B(b *testing.B) {
-	p := galleryPlanner(core.AllTechniques, 1)
+	p := galleryPlanner(engine.AllTechniques, 1)
 	var slots int64
 	for i := 0; i < b.N; i++ {
 		plan, err := p.PlanFor(0)
@@ -46,7 +46,7 @@ func BenchmarkFig3FaultFree1F1B(b *testing.B) {
 
 // BenchmarkFig3bAdaptiveNaive regenerates Figure 3b (36 slots).
 func BenchmarkFig3bAdaptiveNaive(b *testing.B) {
-	p := galleryPlanner(core.Techniques{AdaptivePipelining: true}, 1)
+	p := galleryPlanner(engine.Techniques{AdaptivePipelining: true}, 1)
 	var slots int64
 	for i := 0; i < b.N; i++ {
 		plan, err := p.PlanConcrete(galleryFailed)
@@ -60,7 +60,7 @@ func BenchmarkFig3bAdaptiveNaive(b *testing.B) {
 
 // BenchmarkFig5Decoupled regenerates Figure 5 (29 slots).
 func BenchmarkFig5Decoupled(b *testing.B) {
-	p := galleryPlanner(core.Techniques{AdaptivePipelining: true, DecoupledBackProp: true}, 1)
+	p := galleryPlanner(engine.Techniques{AdaptivePipelining: true, DecoupledBackProp: true}, 1)
 	var slots int64
 	for i := 0; i < b.N; i++ {
 		plan, err := p.PlanConcrete(galleryFailed)
@@ -74,7 +74,7 @@ func BenchmarkFig5Decoupled(b *testing.B) {
 
 // BenchmarkFig6Staggered regenerates Figure 6 (zero-overhead steady period).
 func BenchmarkFig6Staggered(b *testing.B) {
-	p := galleryPlanner(core.AllTechniques, 4)
+	p := galleryPlanner(engine.AllTechniques, 4)
 	var period int64
 	for i := 0; i < b.N; i++ {
 		plan, err := p.PlanConcrete(galleryFailed)
@@ -215,10 +215,10 @@ func BenchmarkFig13PlannerLatency(b *testing.B) {
 func BenchmarkAblationNaiveVsDeadline(b *testing.B) {
 	job, stats := engine.ShapeJob(4, 8, 32)
 	failed := []schedule.Worker{{Stage: 7, Pipeline: 3}}
-	naiveP := core.New(job, stats)
-	naiveP.Techniques = core.Techniques{AdaptivePipelining: true}
+	naiveP := engine.NewPlanner(job, stats)
+	naiveP.Techniques = engine.Techniques{AdaptivePipelining: true}
 	naiveP.UnrollIterations = 2
-	smartP := core.New(job, stats)
+	smartP := engine.NewPlanner(job, stats)
 	smartP.UnrollIterations = 2
 	var naive, smart int64
 	for i := 0; i < b.N; i++ {
@@ -234,6 +234,45 @@ func BenchmarkAblationNaiveVsDeadline(b *testing.B) {
 	}
 	b.ReportMetric(float64(naive), "naive-period")
 	b.ReportMetric(float64(smart), "deadline-period")
+}
+
+// BenchmarkProgramExecute measures the shared-IR hot path: one virtual
+// execution of the running example's adapted Program (W1_2 failed) per
+// iteration — the discrete-event step every scenario replay pays per
+// failure state.
+func BenchmarkProgramExecute(b *testing.B) {
+	job, stats := engine.ShapeJob(3, 4, 6)
+	eng := engine.New(job, stats, engine.Options{UnrollIterations: 1})
+	prog, err := eng.ProgramFor(map[schedule.Worker]bool{{Stage: 2, Pipeline: 1}: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var slots int64
+	for i := 0; i < b.N; i++ {
+		ex, err := sim.ExecuteProgram(prog, sim.ProgramOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		slots = ex.ComputeMakespan(0)
+	}
+	b.ReportMetric(float64(slots), "slots")
+	b.ReportMetric(float64(len(prog.Instrs)), "instrs")
+}
+
+// BenchmarkProgramCompile measures schedule.Compile itself (lowering the
+// adapted 3x4x6 plan), the one-time cost the engine amortizes behind its
+// program cache.
+func BenchmarkProgramCompile(b *testing.B) {
+	p := galleryPlanner(engine.AllTechniques, 1)
+	plan, err := p.PlanConcrete(galleryFailed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := schedule.Compile(plan.Schedule); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // planAllJob is the workload of the PlanAll benches: the Table 1 GPT-3
@@ -253,9 +292,9 @@ func planAllJob(b *testing.B) (config.Job, profile.Stats) {
 func BenchmarkPlanAllSequential(b *testing.B) {
 	job, stats := planAllJob(b)
 	for i := 0; i < b.N; i++ {
-		p := core.New(job, stats)
+		p := engine.NewPlanner(job, stats)
 		p.UnrollIterations = 2
-		store := core.NewPlanStore()
+		store := engine.NewPlanStore()
 		if err := p.PlanAll(store, 0); err != nil {
 			b.Fatal(err)
 		}
@@ -282,7 +321,7 @@ func BenchmarkPlanAllParallel(b *testing.B) {
 func BenchmarkAblationNormalizationCost(b *testing.B) {
 	var convex, literal int64
 	for i := 0; i < b.N; i++ {
-		a, err := core.NormalizeFailures(16, 2, 64, 6)
+		a, err := engine.NormalizeFailures(16, 2, 64, 6)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -302,7 +341,7 @@ func BenchmarkPlannerTable1Jobs(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			planner := core.New(job, stats)
+			planner := engine.NewPlanner(job, stats)
 			planner.UnrollIterations = 2
 			for i := 0; i < b.N; i++ {
 				if _, err := planner.PlanFor(job.Parallel.DP - 1); err != nil {

@@ -1,8 +1,12 @@
 // Command recycle-bench regenerates every table and figure of the paper's
 // evaluation (§6) and prints the reports — the data behind EXPERIMENTS.md.
+// With -json the full structured result set is emitted as one JSON
+// document instead, so CI and perf-trajectory tooling can diff runs
+// without scraping formatted text.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -10,48 +14,79 @@ import (
 	"recycle/internal/experiments"
 )
 
+// report is the machine-readable shape of one full evaluation run.
+type report struct {
+	Gallery experiments.GallerySlots
+	Table1  []experiments.Table1Row
+	Table2  []experiments.Table2Row
+	Fig9    []experiments.Fig9Result
+	Fig10   []experiments.Fig10Row
+	Fig11   []experiments.Fig11Row
+	Fig12   []experiments.Fig12Row
+	Fig13   []experiments.Fig13Cell
+}
+
 func main() {
 	fig13 := flag.Bool("fig13", false, "include the (slow) planner-latency heat map")
+	asJSON := flag.Bool("json", false, "emit the structured results as JSON on stdout")
 	flag.Parse()
 
-	g, err := experiments.Gallery()
-	check(err)
-	fmt.Printf("Figs 3/5/6 (running example, slots): fault-free %d | adaptive naive (Fig 3b) %d | decoupled %d | staggered steady period %d vs fault-free period %d\n\n",
-		g.FaultFree, g.AdaptiveNaive, g.Decoupled, g.StaggeredPeriod, g.FaultFreePeriod)
+	var rep report
+	var err error
+	// In text mode each section prints as soon as it is computed (the run
+	// takes minutes); -json suppresses the incremental prints and emits
+	// the collected struct at the end.
+	emit := func(s string) {
+		if !*asJSON {
+			fmt.Println(s)
+		}
+	}
 
-	_, t1, err := experiments.Table1()
+	rep.Gallery, err = experiments.Gallery()
 	check(err)
-	fmt.Println(t1)
+	emit(fmt.Sprintf("Figs 3/5/6 (running example, slots): fault-free %d | adaptive naive (Fig 3b) %d | decoupled %d | staggered steady period %d vs fault-free period %d\n",
+		rep.Gallery.FaultFree, rep.Gallery.AdaptiveNaive, rep.Gallery.Decoupled, rep.Gallery.StaggeredPeriod, rep.Gallery.FaultFreePeriod))
 
-	_, t2, err := experiments.Table2()
+	var t string
+	rep.Table1, t, err = experiments.Table1()
 	check(err)
-	fmt.Println(t2)
+	emit(t)
 
-	_, f9, err := experiments.Fig9()
+	rep.Table2, t, err = experiments.Table2()
 	check(err)
-	fmt.Println(f9)
+	emit(t)
 
-	_, f10, err := experiments.Fig10()
+	rep.Fig9, t, err = experiments.Fig9()
 	check(err)
-	fmt.Println(f10)
+	emit(t)
 
-	_, f11, err := experiments.Fig11()
+	rep.Fig10, t, err = experiments.Fig10()
 	check(err)
-	fmt.Println(f11)
+	emit(t)
 
-	_, f12, err := experiments.Fig12()
+	rep.Fig11, t, err = experiments.Fig11()
 	check(err)
-	fmt.Println(f12)
+	emit(t)
 
+	rep.Fig12, t, err = experiments.Fig12()
+	check(err)
+	emit(t)
+
+	pps, dps := []int{2, 8, 32}, []int{2, 8}
 	if *fig13 {
-		_, f13, err := experiments.Fig13([]int{2, 4, 8, 16, 32, 64}, []int{2, 4, 8, 16, 32})
-		check(err)
-		fmt.Println(f13)
-	} else {
-		_, f13, err := experiments.Fig13([]int{2, 8, 32}, []int{2, 8})
-		check(err)
-		fmt.Println(f13)
-		fmt.Println("(run with -fig13 for the full 6x5 grid)")
+		pps, dps = []int{2, 4, 8, 16, 32, 64}, []int{2, 4, 8, 16, 32}
+	}
+	rep.Fig13, t, err = experiments.Fig13(pps, dps)
+	check(err)
+	emit(t)
+	if !*fig13 {
+		emit("(run with -fig13 for the full 6x5 grid)")
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(rep))
 	}
 }
 

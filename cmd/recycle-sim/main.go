@@ -5,6 +5,12 @@
 // ReCycle obtains every schedule through the plan service; -preplan runs
 // the offline phase (concurrent PlanAll into the replicated store) before
 // the replay starts, so failure events only ever hit precomputed plans.
+//
+// With -des N the simulator drops below steady-state scalars to the op
+// level: the plan for N failures is compiled into a Program (the same
+// artifact the live runtime interprets) and executed in virtual time,
+// optionally with a straggler (-straggle), and the per-iteration compute
+// makespans and per-worker utilization are printed.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"recycle/internal/config"
 	"recycle/internal/failure"
 	"recycle/internal/profile"
+	"recycle/internal/schedule"
 	"recycle/internal/sim"
 )
 
@@ -27,6 +34,8 @@ func main() {
 	gcp := flag.Bool("gcp", false, "replay the GCP availability trace instead")
 	horizon := flag.Duration("horizon", 6*time.Hour, "simulated duration")
 	preplan := flag.Bool("preplan", false, "run the offline phase first: precompute all tolerated plans concurrently")
+	des := flag.Int("des", -1, "execute the compiled Program for this failure count op-by-op in virtual time instead of replaying a trace")
+	straggle := flag.Float64("straggle", 1, "with -des: duration multiplier applied to worker W0_0 (straggler injection)")
 	flag.Parse()
 
 	jobs := map[string]config.Job{
@@ -45,6 +54,13 @@ func main() {
 		os.Exit(1)
 	}
 	rc := sim.NewReCycle(job, stats)
+	if *des >= 0 {
+		if err := desTimeline(rc, job, *des, *straggle); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *preplan {
 		start := time.Now()
 		if err := rc.PrePlan(0); err != nil {
@@ -95,4 +111,48 @@ func main() {
 			p.Start.Round(time.Second), p.End.Round(time.Second), p.Failed, p.Throughput, p.Stall.Round(time.Millisecond))
 	}
 	fmt.Printf("\naverage throughput: %.2f samples/s (fault-free %.2f, ratio %.3f)\n", res.Average, ff, res.Average/ff)
+	m := rc.PlanMetrics()
+	fmt.Printf("plan service: %d solves, %d cache hits, %d store hits, %d Best(n) hits\n",
+		m.Solves, m.CacheHits, m.StoreHits, m.BestHits)
+}
+
+// desTimeline compiles the plan for n failures into a Program and executes
+// it op-by-op in virtual time — the schedule-accurate view the scalar
+// throughput model cannot give.
+func desTimeline(rc *sim.ReCycle, job config.Job, n int, straggle float64) error {
+	prog, err := rc.Program(n)
+	if err != nil {
+		return err
+	}
+	opts := sim.ProgramOptions{}
+	victim := schedule.Worker{Stage: 0, Pipeline: 0}
+	if straggle != 1 {
+		opts.Scale = map[schedule.Worker]float64{victim: straggle}
+	}
+	ex, err := sim.ExecuteProgram(prog, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compiled Program for %d failures on %s: %d instructions over %d workers\n",
+		n, job.Model.Name, len(prog.Instrs), len(prog.Workers()))
+	if straggle != 1 {
+		fmt.Printf("straggler: %s at %.2fx\n", victim, straggle)
+	}
+	for it := 0; it < prog.Shape.Iter; it++ {
+		fmt.Printf("  iteration %d compute makespan: %d slots\n", it, ex.ComputeMakespan(it))
+	}
+	fmt.Printf("  total makespan (incl. optimizer): %d slots\n", ex.Makespan)
+	busy := ex.WorkerBusy()
+	var worst schedule.Worker
+	var worstIdle float64 = -1
+	for _, w := range prog.Workers() {
+		idle := 1 - float64(busy[w])/float64(ex.Makespan)
+		if idle > worstIdle {
+			worst, worstIdle = w, idle
+		}
+	}
+	fmt.Printf("  most idle worker: %s (%.1f%% idle)\n", worst, worstIdle*100)
+	m := rc.PlanMetrics()
+	fmt.Printf("plan service: %d solves, %d programs compiled\n", m.Solves, m.Compiles)
+	return nil
 }

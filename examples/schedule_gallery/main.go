@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"log"
 
-	"recycle/internal/core"
 	"recycle/internal/engine"
 	"recycle/internal/schedule"
 )
@@ -21,10 +20,10 @@ func main() {
 	job, stats := engine.ShapeJob(3, 4, 6)
 	failed := []schedule.Worker{{Stage: 2, Pipeline: 1}}
 
-	mk := func(t core.Techniques, unroll int) *engine.Engine {
+	mk := func(t engine.Techniques, unroll int) *engine.Engine {
 		return engine.New(job, stats, engine.Options{Techniques: &t, UnrollIterations: unroll})
 	}
-	show := func(title string, plan *core.Plan, err error, period bool) {
+	show := func(title string, plan *engine.Plan, err error, period bool) {
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -36,12 +35,12 @@ func main() {
 		fmt.Println(schedule.Render(plan.Schedule, 5))
 	}
 
-	ff, err := mk(core.AllTechniques, 1).Plan(0)
+	ff, err := mk(engine.AllTechniques, 1).Plan(0)
 	show("Fig 3a: fault-free 1F1B", ff, err, false)
-	naive, err := mk(core.Techniques{AdaptivePipelining: true}, 1).PlanConcrete(failed)
+	naive, err := mk(engine.Techniques{AdaptivePipelining: true}, 1).PlanConcrete(failed)
 	show("Fig 3b: Adaptive Pipelining, naive insertion (W1_2 failed)", naive, err, false)
-	dec, err := mk(core.Techniques{AdaptivePipelining: true, DecoupledBackProp: true}, 1).PlanConcrete(failed)
+	dec, err := mk(engine.Techniques{AdaptivePipelining: true, DecoupledBackProp: true}, 1).PlanConcrete(failed)
 	show("Fig 5: + Decoupled BackProp", dec, err, false)
-	st, err := mk(core.AllTechniques, 3).PlanConcrete(failed)
+	st, err := mk(engine.AllTechniques, 3).PlanConcrete(failed)
 	show("Fig 6: + Staggered Optimizer (3 iterations unrolled)", st, err, true)
 }

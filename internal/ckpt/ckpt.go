@@ -5,10 +5,10 @@
 package ckpt
 
 import (
-	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
@@ -66,14 +66,35 @@ func LoadFile(path string) (*Snapshot, error) {
 	return Load(f)
 }
 
-// Equal reports whether two snapshots carry identical state.
+// Equal reports whether two snapshots carry identical state. The
+// comparison is structural: comparing gob encodings would be flaky, since
+// gob serializes maps in whatever order the runtime iterates them.
 func Equal(a, b *Snapshot) bool {
-	if a.Iteration != b.Iteration || len(a.Params) != len(b.Params) {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Iteration == b.Iteration &&
+		equalTensors(a.Params, b.Params) &&
+		equalTensors(a.OptState, b.OptState)
+}
+
+// equalTensors compares two named-tensor maps element-wise. Values are
+// compared by bit pattern so snapshots containing NaNs (state captured
+// from a diverged run) still compare equal to their round-tripped selves.
+func equalTensors(x, y map[string][]float64) bool {
+	if len(x) != len(y) {
 		return false
 	}
-	var bufA, bufB bytes.Buffer
-	if Save(&bufA, a) != nil || Save(&bufB, b) != nil {
-		return false
+	for k, xs := range x {
+		ys, ok := y[k]
+		if !ok || len(xs) != len(ys) {
+			return false
+		}
+		for i := range xs {
+			if math.Float64bits(xs[i]) != math.Float64bits(ys[i]) {
+				return false
+			}
+		}
 	}
-	return bytes.Equal(bufA.Bytes(), bufB.Bytes())
+	return true
 }

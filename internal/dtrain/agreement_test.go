@@ -1,0 +1,88 @@
+package dtrain
+
+import (
+	"testing"
+
+	"recycle/internal/schedule"
+	"recycle/internal/sim"
+)
+
+// TestSimRuntimeAgreementByConstruction is the acceptance check for the
+// shared Program IR: for a faulted 3x4x6 job, the discrete-event
+// simulator's virtual execution of the compiled Program and the live
+// runtime's executed op timeline under unit slot durations are identical —
+// not approximately, but instruction for instruction. Both executors
+// interpret the same Program with the same recurrence, so agreement holds
+// by construction; this test pins that property.
+func TestSimRuntimeAgreementByConstruction(t *testing.T) {
+	cfg := Config{
+		DP: 3, PP: 4, MB: 6,
+		InDim: 8, Hidden: 16, OutDim: 4, MicroBatchSize: 5,
+		Seed: 42, LR: 1e-2,
+	}
+	rt := New(cfg)
+	rt.Fail(schedule.Worker{Stage: 2, Pipeline: 1}) // the paper's W1_2
+	if _, err := rt.RunIteration(); err != nil {
+		t.Fatal(err)
+	}
+
+	prog, starts, ends := rt.ExecutedTimeline()
+	if prog == nil {
+		t.Fatal("runtime recorded no executed timeline")
+	}
+	ex, err := sim.ExecuteProgram(prog, sim.ProgramOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Completed != len(prog.Instrs) {
+		t.Fatalf("simulator completed %d of %d instructions", ex.Completed, len(prog.Instrs))
+	}
+	for i := range prog.Instrs {
+		if starts[i] != ex.Start[i] || ends[i] != ex.End[i] {
+			t.Fatalf("instruction %d (%s): runtime span [%d,%d] != simulated span [%d,%d]",
+				i, prog.Instrs[i].Op, starts[i], ends[i], ex.Start[i], ex.End[i])
+		}
+	}
+	if got, want := rt.ExecutedComputeMakespan(), ex.ComputeMakespan(0); got != want {
+		t.Fatalf("runtime compute makespan %d slots != simulator prediction %d", got, want)
+	}
+	if rt.ExecutedComputeMakespan() <= 0 {
+		t.Fatal("degenerate zero-length timeline")
+	}
+}
+
+// TestAgreementHoldsAcrossFailureSets sweeps a few failure sets and
+// iterations: the executed timeline must track the simulator's prediction
+// every time the failure set (and hence the Program) changes.
+func TestAgreementHoldsAcrossFailureSets(t *testing.T) {
+	cfg := Config{
+		DP: 3, PP: 4, MB: 6,
+		InDim: 8, Hidden: 16, OutDim: 4, MicroBatchSize: 5,
+		Seed: 7, LR: 1e-2,
+	}
+	rt := New(cfg)
+	failures := [][]schedule.Worker{
+		nil,
+		{{Stage: 2, Pipeline: 1}},
+		{{Stage: 2, Pipeline: 1}, {Stage: 0, Pipeline: 2}},
+	}
+	for _, fs := range failures {
+		for _, w := range fs {
+			rt.Fail(w)
+		}
+		if _, err := rt.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+		prog, _, ends := rt.ExecutedTimeline()
+		ex, err := sim.ExecuteProgram(prog, sim.ProgramOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range prog.Instrs {
+			if ends[i] != ex.End[i] {
+				t.Fatalf("failures=%v: instruction %d (%s) executed end %d != simulated %d",
+					fs, i, prog.Instrs[i].Op, ends[i], ex.End[i])
+			}
+		}
+	}
+}

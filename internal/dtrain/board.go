@@ -1,0 +1,67 @@
+package dtrain
+
+import (
+	"sync"
+
+	"recycle/internal/schedule"
+)
+
+// depBoard is the runtime's view of Program dependency state: the logical
+// (slot-time) span of every completed instruction. Executors block on it
+// until an instruction's dependency edges are satisfied, so cross-worker
+// ordering is enforced by the compiled Program's edges — the runtime never
+// re-derives op order itself.
+//
+// Posting logical times along the same edges the discrete-event simulator
+// walks makes the two executions agree by construction: both compute
+// start = max(worker clock, dep ends + comm), so the runtime's executed
+// timeline under unit slots is bit-identical to the simulator's prediction.
+type depBoard struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	start []int64
+	end   []int64
+}
+
+func newDepBoard(n int) *depBoard {
+	b := &depBoard{start: make([]int64, n), end: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		b.start[i], b.end[i] = -1, -1
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until every dependency has posted and returns the earliest
+// dependency-ready logical time (max producer end, plus communication
+// latency on cross-stage edges).
+func (b *depBoard) wait(p *schedule.Program, deps []schedule.Dep) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var ready int64
+	for _, d := range deps {
+		for b.end[d.From] < 0 {
+			b.cond.Wait()
+		}
+		if r := b.end[d.From] + p.EdgeLatency(d.Kind); r > ready {
+			ready = r
+		}
+	}
+	return ready
+}
+
+// post publishes an instruction's logical span and wakes waiters.
+func (b *depBoard) post(id int, start, end int64) {
+	b.mu.Lock()
+	b.start[id], b.end[id] = start, end
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// snapshot copies the board's spans (after the iteration's executors have
+// all finished).
+func (b *depBoard) snapshot() (start, end []int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]int64(nil), b.start...), append([]int64(nil), b.end...)
+}

@@ -44,13 +44,19 @@ type payload struct {
 
 // router is an in-process rendezvous transport: senders and receivers meet
 // on content-addressed single-slot channels, which makes executor
-// interleaving irrelevant to the computation's result.
+// interleaving irrelevant to the computation's result. An abort releases
+// every blocked receiver so an erroring iteration can unwind instead of
+// hanging peers whose producers will never send.
 type router struct {
-	mu sync.Mutex
-	m  map[msgKey]chan payload
+	mu   sync.Mutex
+	m    map[msgKey]chan payload
+	done chan struct{}
+	once sync.Once
 }
 
-func newRouter() *router { return &router{m: make(map[msgKey]chan payload)} }
+func newRouter() *router {
+	return &router{m: make(map[msgKey]chan payload), done: make(chan struct{})}
+}
 
 func (r *router) ch(k msgKey) chan payload {
 	r.mu.Lock()
@@ -65,14 +71,19 @@ func (r *router) ch(k msgKey) chan payload {
 
 func (r *router) send(k msgKey, p payload) { r.ch(k) <- p }
 
-func (r *router) recv(k msgKey) payload { return <-r.ch(k) }
-
-// reset drops all pending messages (between iterations / after aborts).
-func (r *router) reset() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.m = make(map[msgKey]chan payload)
+// recv blocks for the message under k; ok=false means the iteration was
+// aborted and the message will never arrive.
+func (r *router) recv(k msgKey) (payload, bool) {
+	select {
+	case p := <-r.ch(k):
+		return p, true
+	case <-r.done:
+		return payload{}, false
+	}
 }
+
+// abort releases every blocked receiver (idempotent).
+func (r *router) abort() { r.once.Do(func() { close(r.done) }) }
 
 func (k msgKey) String() string {
 	return fmt.Sprintf("kind=%d stage=%d iter=%d mb=%+v peer=%d", k.kind, k.stage, k.iter, k.mb, k.peer)

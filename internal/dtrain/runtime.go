@@ -1,6 +1,7 @@
 package dtrain
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -28,6 +29,11 @@ type Config struct {
 	Delays schedule.Durations
 }
 
+// errAborted marks an executor unwound by a peer's abort: its messages
+// will never arrive, the iteration is being rolled back, and the worker
+// itself has nothing to report.
+var errAborted = errors.New("dtrain: iteration aborted by a peer")
+
 // delay sleeps for the configured per-op kernel latency.
 func (rt *Runtime) delay(t schedule.OpType) {
 	if d := rt.Cfg.Delays.Of(t); d > 0 {
@@ -35,18 +41,19 @@ func (rt *Runtime) delay(t schedule.OpType) {
 	}
 }
 
-// Runtime owns the model replicas and executes training iterations under
-// adaptive schedules. It is the in-process counterpart of the paper's
-// Coordinator + Executors (§4.1): the coordinator logic (failure handling,
-// plan selection, validation/rollback) lives on the Runtime; each live
-// worker executes its per-iteration instruction stream on its own
-// goroutine.
+// Runtime owns the model replicas and executes training iterations by
+// interpreting compiled Programs. It is the in-process counterpart of the
+// paper's Coordinator + Executors (§4.1): the coordinator logic (failure
+// handling, plan selection, validation/rollback) lives on the Runtime; each
+// live worker interprets its Program instruction stream on its own
+// goroutine. The Runtime never derives op order itself — ordering and
+// dependencies come exclusively from schedule.Compile.
 type Runtime struct {
 	Cfg     Config
 	Dataset *Dataset
 
-	// eng is the plan service (Fig 8): the coordinator fetches adaptive
-	// schedules for the current failure set from it — replicated store
+	// eng is the plan service (Fig 8): the coordinator fetches compiled
+	// Programs for the current failure set from it — replicated store
 	// first, Best(n) fallback, on-demand solve on miss — instead of
 	// invoking the solver directly.
 	eng *engine.Engine
@@ -58,8 +65,16 @@ type Runtime struct {
 
 	mu        sync.Mutex
 	losses    map[nn.MBKey]float64
+	stepped   map[schedule.Worker]int // optimizer steps applied this iteration
 	opSeconds map[schedule.OpType]time.Duration
 	opCounts  map[schedule.OpType]int
+
+	// Executed timeline of the last iteration: the interpreted Program and
+	// each instruction's logical slot-time span, as propagated along the
+	// Program's dependency edges during real execution.
+	lastProg   *schedule.Program
+	lastStarts []int64
+	lastEnds   []int64
 }
 
 // New builds a healthy DP x PP runtime with identical stage replicas
@@ -146,12 +161,13 @@ func (rt *Runtime) StageParams(w schedule.Worker) []*nn.Param {
 	return rt.stages[w].Params()
 }
 
-// plan fetches the adaptive schedule for the current failure set from the
-// plan service — the Coordinator flow of §4.1: a stored plan when one
-// matches, an on-demand solve otherwise, each failure set solved at most
-// once across the run.
-func (rt *Runtime) plan() (*schedule.Schedule, error) {
-	return rt.eng.ScheduleFor(rt.failed)
+// Program fetches the compiled Program for the current failure set from
+// the plan service — the Coordinator flow of §4.1: a stored plan when one
+// matches, an on-demand solve otherwise, each failure set solved and
+// compiled at most once across the run. This is the exact artifact the
+// discrete-event simulator executes in virtual time.
+func (rt *Runtime) Program() (*schedule.Program, error) {
+	return rt.eng.ProgramFor(rt.failed)
 }
 
 // PrePlan precomputes normalized plans for 0..maxFailures concurrently and
@@ -167,29 +183,33 @@ func (rt *Runtime) PrePlan(maxFailures int) error {
 func (rt *Runtime) PlanMetrics() engine.Metrics { return rt.eng.Metrics() }
 
 // RunIteration executes one full training iteration — forward, backward,
-// all-reduce, staggered optimizer step with post-step validation — under
-// the adaptive schedule for the current failure set. It returns the mean
-// micro-batch loss.
+// all-reduce, staggered optimizer step with post-step validation — by
+// interpreting the compiled Program for the current failure set. It
+// returns the mean micro-batch loss.
 func (rt *Runtime) RunIteration() (float64, error) {
-	s, err := rt.plan()
+	prog, err := rt.Program()
 	if err != nil {
 		return 0, err
 	}
 	r := newRouter()
+	board := newDepBoard(len(prog.Instrs))
 	rt.losses = make(map[nn.MBKey]float64)
+	rt.stepped = make(map[schedule.Worker]int)
 
 	var wg sync.WaitGroup
 	valErrs := make(chan error, rt.Cfg.DP*rt.Cfg.PP)
-	for _, w := range s.Workers() {
+	for _, w := range prog.Workers() {
 		wg.Add(1)
-		go func(w schedule.Worker, ps []schedule.Placement) {
+		go func(w schedule.Worker) {
 			defer wg.Done()
-			if err := rt.exec(w, ps, r); err != nil {
+			if err := rt.exec(w, prog, board, r); err != nil {
 				valErrs <- err
 			}
-		}(w, s.Worker(w))
+		}(w)
 	}
 	wg.Wait()
+	rt.lastProg = prog
+	rt.lastStarts, rt.lastEnds = board.snapshot()
 	close(valErrs)
 	var firstErr error
 	for e := range valErrs {
@@ -198,11 +218,17 @@ func (rt *Runtime) RunIteration() (float64, error) {
 		}
 	}
 	if firstErr != nil {
-		// Post-step validation failed somewhere: roll back every stage's
-		// step (§5) and skip the iteration.
+		// Post-step validation failed somewhere: roll back exactly the
+		// workers that stepped (§5) — aborted peers never applied theirs —
+		// clear every live stage's in-flight state, and skip the iteration.
+		for w, steps := range rt.stepped {
+			for i := 0; i < steps; i++ {
+				rt.opts[w].Rollback(rt.stages[w].Params())
+			}
+		}
 		for w, st := range rt.stages {
 			if !rt.failed[w] {
-				rt.opts[w].Rollback(st.Params())
+				st.Reset()
 			}
 		}
 		rt.iter++
@@ -229,8 +255,14 @@ func (rt *Runtime) iterationLoss() float64 {
 	return sum / float64(len(keys))
 }
 
-// exec interprets one worker's instruction stream for the iteration.
-func (rt *Runtime) exec(w schedule.Worker, ps []schedule.Placement, r *router) error {
+// exec interprets one worker's Program instruction stream. Instructions
+// run in stream order; cross-worker ordering comes only from the Program's
+// dependency edges, awaited on the board. Alongside the real computation,
+// exec advances a logical slot clock with the same recurrence the
+// discrete-event simulator uses — start = max(worker clock, dependency
+// ends + comm) — and posts each instruction's logical span back to the
+// board, so the executed timeline is the simulator's prediction realized.
+func (rt *Runtime) exec(w schedule.Worker, prog *schedule.Program, board *depBoard, r *router) error {
 	st := rt.stages[w]
 	preds := make(map[nn.MBKey]*tensor.Matrix) // last-stage predictions awaiting loss
 	last := w.Stage == rt.Cfg.PP-1
@@ -240,16 +272,37 @@ func (rt *Runtime) exec(w schedule.Worker, ps []schedule.Placement, r *router) e
 		rt.opCounts[t]++
 		rt.mu.Unlock()
 	}
-	for _, p := range ps {
-		op := p.Op
+	// bail posts every instruction from stream position si onward as a
+	// zero-length span — the abort path, keeping peers' dependency waits
+	// from hanging while the iteration unwinds toward rollback.
+	stream := prog.Streams[w]
+	var clock int64
+	bail := func(si int) {
+		for _, id := range stream[si:] {
+			board.post(id, clock, clock)
+		}
+	}
+	for si, id := range stream {
+		ins := prog.Instrs[id]
+		op := ins.Op
 		key := nn.MBKey{Pipeline: op.Home, MB: op.MB}
+		start := clock
+		if ready := board.wait(prog, ins.Deps); ready > start {
+			start = ready
+		}
+		end := start + prog.Durations.Of(op.Type)
 		switch op.Type {
 		case schedule.F:
 			var x *tensor.Matrix
 			if op.Stage == 0 {
 				x = rt.Dataset.Input(rt.iter, op.Home, op.MB)
 			} else {
-				x = r.recv(msgKey{kind: msgAct, stage: op.Stage, iter: op.Iter, mb: key}).mat
+				m, ok := r.recv(msgKey{kind: msgAct, stage: op.Stage, iter: op.Iter, mb: key})
+				if !ok {
+					bail(si)
+					return nil
+				}
+				x = m.mat
 			}
 			t0 := time.Now() // time only the compute, not the blocking recv
 			y := st.Forward(key, x)
@@ -270,7 +323,12 @@ func (rt *Runtime) exec(w schedule.Worker, ps []schedule.Placement, r *router) e
 				dy = g
 				delete(preds, key)
 			} else {
-				dy = r.recv(msgKey{kind: msgGrad, stage: op.Stage, iter: op.Iter, mb: key}).mat
+				m, ok := r.recv(msgKey{kind: msgGrad, stage: op.Stage, iter: op.Iter, mb: key})
+				if !ok {
+					bail(si)
+					return nil
+				}
+				dy = m.mat
 			}
 			t0 := time.Now()
 			dx := st.BackwardInput(key, dy)
@@ -292,9 +350,19 @@ func (rt *Runtime) exec(w schedule.Worker, ps []schedule.Placement, r *router) e
 			record(schedule.BWeight, time.Since(t0))
 		case schedule.Optimizer:
 			if err := rt.allReduceAndStep(w, st, op.Iter, r, record); err != nil {
+				if err == errAborted {
+					bail(si)
+					return nil
+				}
+				// A real failure: release every blocked peer, then unwind.
+				// RunIteration rolls back whoever managed to step.
+				r.abort()
+				bail(si)
 				return err
 			}
 		}
+		board.post(id, start, end)
+		clock = end
 	}
 	return nil
 }
@@ -316,8 +384,11 @@ func (rt *Runtime) allReduceAndStep(w schedule.Worker, st *nn.Stage, iter int, r
 	if w.Pipeline == root {
 		merged := st.DrainStore()
 		for _, p := range peers[1:] {
-			c := r.recv(msgKey{kind: msgContrib, stage: w.Stage, iter: iter, peer: p}).contribs
-			for k, gs := range c {
+			m, ok := r.recv(msgKey{kind: msgContrib, stage: w.Stage, iter: iter, peer: p})
+			if !ok {
+				return errAborted
+			}
+			for k, gs := range m.contribs {
 				if _, dup := merged[k]; dup {
 					return fmt.Errorf("dtrain: duplicate gradient contribution for %+v at stage %d", k, w.Stage)
 				}
@@ -340,14 +411,48 @@ func (rt *Runtime) allReduceAndStep(w schedule.Worker, st *nn.Stage, iter int, r
 		}
 	} else {
 		r.send(msgKey{kind: msgContrib, stage: w.Stage, iter: iter, peer: w.Pipeline}, payload{contribs: st.DrainStore()})
-		reduced := r.recv(msgKey{kind: msgReduced, stage: w.Stage, iter: iter, peer: w.Pipeline}).grads
+		m, ok := r.recv(msgKey{kind: msgReduced, stage: w.Stage, iter: iter, peer: w.Pipeline})
+		if !ok {
+			return errAborted
+		}
 		params := st.Params()
-		for i, g := range reduced {
+		for i, g := range m.grads {
 			copy(params[i].Grad.Data, g.Data)
 		}
 	}
 	rt.opts[w].Step(st.Params())
+	rt.mu.Lock()
+	rt.stepped[w]++
+	rt.mu.Unlock()
 	return nn.ValidateFinite(st.Params())
+}
+
+// ExecutedTimeline returns the Program the last iteration interpreted and
+// each instruction's executed logical span (start, end in slot units),
+// indexed by instruction ID. The spans were propagated along the Program's
+// dependency edges during the real run, so comparing them against the
+// discrete-event simulator's virtual execution of the same Program is the
+// Table 2 agreement check, by construction.
+func (rt *Runtime) ExecutedTimeline() (prog *schedule.Program, starts, ends []int64) {
+	return rt.lastProg, rt.lastStarts, rt.lastEnds
+}
+
+// ExecutedComputeMakespan returns the last iteration's logical compute
+// makespan: the latest executed end among F/B/BI/BW instructions.
+func (rt *Runtime) ExecutedComputeMakespan() int64 {
+	var out int64
+	if rt.lastProg == nil {
+		return 0
+	}
+	for i := range rt.lastProg.Instrs {
+		if rt.lastProg.Instrs[i].Op.Type == schedule.Optimizer {
+			continue
+		}
+		if e := rt.lastEnds[i]; e > out {
+			out = e
+		}
+	}
+	return out
 }
 
 // MeasuredTimes returns the mean wall-clock duration per op type observed

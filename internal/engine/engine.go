@@ -59,6 +59,8 @@ type Metrics struct {
 	Solves      uint64 // full solver runs
 	Coalesced   uint64 // callers that waited on another caller's solve
 	StoreErrors uint64 // store reads/writes that lost quorum or misparsed
+	Compiles    uint64 // schedule→Program lowerings performed
+	ProgramHits uint64 // Programs served from the compiled cache
 }
 
 // call is one in-flight solve that concurrent requesters coalesce onto.
@@ -82,9 +84,17 @@ type Engine struct {
 	// store per job fingerprint so technique/unroll retuning on the live
 	// planner can never surface a plan solved under different toggles.
 	norm map[string]*core.PlanStore
+	// programs caches compiled Programs alongside the plans they lower,
+	// keyed by schedule identity (plans are cached, so one plan's schedule
+	// is one pointer for the engine's lifetime).
+	programs map[*schedule.Schedule]*schedule.Program
 
 	cacheHits, storeHits, bestHits atomic.Uint64
 	solves, coalesced, storeErrs   atomic.Uint64
+	compiles, programHits          atomic.Uint64
+
+	// fps memoizes job fingerprints per (techniques, unroll) pair.
+	fps fpCache
 }
 
 // New builds the plan service for a job.
@@ -111,6 +121,7 @@ func New(job config.Job, stats profile.Stats, opts Options) *Engine {
 		cache:    make(map[string]*core.Plan),
 		inflight: make(map[string]*call),
 		norm:     make(map[string]*core.PlanStore),
+		programs: make(map[*schedule.Schedule]*schedule.Program),
 	}
 }
 
@@ -161,6 +172,8 @@ func (e *Engine) Metrics() Metrics {
 		Solves:      e.solves.Load(),
 		Coalesced:   e.coalesced.Load(),
 		StoreErrors: e.storeErrs.Load(),
+		Compiles:    e.compiles.Load(),
+		ProgramHits: e.programHits.Load(),
 	}
 }
 
@@ -189,7 +202,7 @@ func (e *Engine) Plan(n int) (*core.Plan, error) {
 		return nil, fmt.Errorf("engine: negative failure count %d", n)
 	}
 	pl := e.snapshot()
-	fp := fingerprintOf(pl)
+	fp := e.fps.of(pl)
 	return e.getOrSolve(normKey(fp, n), fp, true, func() (*core.Plan, error) { return pl.PlanFor(n) })
 }
 
@@ -199,7 +212,7 @@ func (e *Engine) PlanConcrete(failed []schedule.Worker) (*core.Plan, error) {
 	ws := append([]schedule.Worker(nil), failed...)
 	core.SortWorkers(ws)
 	pl := e.snapshot()
-	fp := fingerprintOf(pl)
+	fp := e.fps.of(pl)
 	return e.getOrSolve(concreteKey(fp, ws), fp, false, func() (*core.Plan, error) { return pl.PlanConcrete(ws) })
 }
 
@@ -209,7 +222,7 @@ func (e *Engine) PlanConcrete(failed []schedule.Worker) (*core.Plan, error) {
 // down). The exact count is first sought in the cache and the replicated
 // store.
 func (e *Engine) Best(n int) (*core.Plan, bool) {
-	fp := fingerprintOf(e.snapshot())
+	fp := e.fps.of(e.snapshot())
 	if p, ok := e.peek(normKey(fp, n), fp, true); ok {
 		return p, true
 	}
@@ -251,7 +264,7 @@ func (e *Engine) ScheduleFor(failed map[schedule.Worker]bool) (*schedule.Schedul
 		ws = append(ws, w)
 	}
 	core.SortWorkers(ws)
-	fp := fingerprintOf(e.snapshot())
+	fp := e.fps.of(e.snapshot())
 	if p, ok := e.peek(concreteKey(fp, ws), fp, false); ok {
 		return p.Schedule, nil
 	}

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodePlan hardens the plan codec against the replicated store's
+// failure modes: torn writes, stale versions, hand-edited values. The
+// invariant: DecodePlan either rejects the bytes with an error or returns
+// a plan whose schedule re-encodes and re-decodes to the same placements —
+// never a panic, never a half-built plan.
+func FuzzDecodePlan(f *testing.F) {
+	job, stats := ShapeJob(2, 2, 4)
+	eng := New(job, stats, Options{UnrollIterations: 1})
+	for n := 0; n <= 1; n++ {
+		p, err := eng.Plan(n)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := EncodePlan(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"Version":1}`))
+	f.Add([]byte(`{"Version":99,"Schedule":{}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePlan(data)
+		if err != nil {
+			return // rejected, fine
+		}
+		if p == nil || p.Schedule == nil || len(p.Schedule.Placements) == 0 {
+			t.Fatalf("DecodePlan accepted bytes but produced a hollow plan: %+v", p)
+		}
+		re, err := EncodePlan(p)
+		if err != nil {
+			t.Fatalf("accepted plan does not re-encode: %v", err)
+		}
+		back, err := DecodePlan(re)
+		if err != nil {
+			t.Fatalf("re-encoded plan does not decode: %v", err)
+		}
+		a, err := EncodePlan(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, a) {
+			t.Fatal("encode(decode(encode(p))) is not a fixed point")
+		}
+	})
+}

@@ -5,7 +5,9 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"slices"
 	"strings"
+	"sync"
 
 	"recycle/internal/config"
 	"recycle/internal/core"
@@ -38,12 +40,38 @@ func Fingerprint(job config.Job, stats profile.Stats, t core.Techniques, unroll 
 	return hex.EncodeToString(sum[:12])
 }
 
-// fingerprintOf keys a planner configuration. It is computed per request
-// (not cached) so callers that retune Techniques on a live planner — the
-// Fig 11 ablation does — transparently address a different key namespace
-// instead of poisoning the cache.
-func fingerprintOf(p *core.Planner) string {
-	return Fingerprint(p.Job, p.Stats, p.Techniques, p.UnrollIterations)
+// fpCache memoizes fingerprints per engine. A planner's Job and Stats are
+// immutable for the engine's lifetime; only the technique toggles and the
+// unroll window can be retuned, so they key the memo. The fetch paths run
+// once per runtime iteration — without the memo every fetch re-marshals
+// the full Job+Stats to JSON and hashes it.
+type fpCache struct {
+	mu sync.Mutex
+	m  map[fpKey]string
+}
+
+type fpKey struct {
+	t      core.Techniques
+	unroll int
+}
+
+// of returns the planner configuration's fingerprint, computing it at most
+// once per (techniques, unroll) pair. Retuning on a live planner — the
+// Fig 11 ablation does — still transparently addresses a different key
+// namespace instead of poisoning the cache.
+func (c *fpCache) of(p *core.Planner) string {
+	k := fpKey{t: p.Techniques, unroll: p.UnrollIterations}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fp, ok := c.m[k]; ok {
+		return fp
+	}
+	if c.m == nil {
+		c.m = make(map[fpKey]string)
+	}
+	fp := Fingerprint(p.Job, p.Stats, p.Techniques, p.UnrollIterations)
+	c.m[k] = fp
+	return fp
 }
 
 // normKey addresses the normalized plan for n simultaneous failures — the
@@ -64,14 +92,4 @@ func concreteKey(fp string, ws []schedule.Worker) string {
 }
 
 // sameWorkers reports whether two sorted worker lists are identical.
-func sameWorkers(a, b []schedule.Worker) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
+func sameWorkers(a, b []schedule.Worker) bool { return slices.Equal(a, b) }

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"recycle/internal/core"
+	"recycle/internal/schedule"
+)
+
+// Program returns the compiled Program for the normalized plan covering n
+// simultaneous failures: the plan comes through the usual get-or-solve
+// path, and the lowering is compiled at most once per cached schedule.
+func (e *Engine) Program(n int) (*schedule.Program, error) {
+	p, err := e.Plan(n)
+	if err != nil {
+		return nil, err
+	}
+	return e.compiled(p.Schedule)
+}
+
+// ProgramConcrete returns the compiled Program for one specific
+// failed-worker set.
+func (e *Engine) ProgramConcrete(failed []schedule.Worker) (*schedule.Program, error) {
+	p, err := e.PlanConcrete(failed)
+	if err != nil {
+		return nil, err
+	}
+	return e.compiled(p.Schedule)
+}
+
+// ProgramFor is the Coordinator's executable-artifact fetch path: the
+// schedule for the concrete failure set (cache → store → Best(n) → solve,
+// exactly ScheduleFor) lowered into the Program both executors interpret.
+func (e *Engine) ProgramFor(failed map[schedule.Worker]bool) (*schedule.Program, error) {
+	s, err := e.ScheduleFor(failed)
+	if err != nil {
+		return nil, err
+	}
+	return e.compiled(s)
+}
+
+// CompiledProgram lowers (or fetches the cached lowering of) a plan this
+// engine served — the hook consumers with a *Plan in hand use to reach the
+// executable artifact.
+func (e *Engine) CompiledProgram(p *core.Plan) (*schedule.Program, error) {
+	return e.compiled(p.Schedule)
+}
+
+// compiled memoizes schedule.Compile per schedule. Plans are cached and
+// shared, so identity keying makes every consumer of one plan share one
+// Program. Concurrent first requests may compile twice; both results are
+// structurally identical and the map keeps one.
+func (e *Engine) compiled(s *schedule.Schedule) (*schedule.Program, error) {
+	e.mu.Lock()
+	if p, ok := e.programs[s]; ok {
+		e.mu.Unlock()
+		e.programHits.Add(1)
+		return p, nil
+	}
+	e.mu.Unlock()
+	prog, err := schedule.Compile(s)
+	if err != nil {
+		return nil, err
+	}
+	e.compiles.Add(1)
+	e.mu.Lock()
+	if prev, ok := e.programs[s]; ok {
+		prog = prev
+	} else {
+		e.programs[s] = prog
+	}
+	e.mu.Unlock()
+	return prog, nil
+}

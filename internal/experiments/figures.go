@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"recycle/internal/config"
-	"recycle/internal/core"
 	"recycle/internal/engine"
 	"recycle/internal/failure"
 	"recycle/internal/profile"
@@ -31,13 +30,13 @@ type GallerySlots struct {
 func Gallery() (GallerySlots, error) {
 	job, stats := engine.ShapeJob(3, 4, 6)
 	failed := []schedule.Worker{{Stage: 2, Pipeline: 1}}
-	adaptive := core.Techniques{AdaptivePipelining: true}
-	decoupled := core.Techniques{AdaptivePipelining: true, DecoupledBackProp: true}
-	mk := func(t core.Techniques, unroll int) *engine.Engine {
+	adaptive := engine.Techniques{AdaptivePipelining: true}
+	decoupled := engine.Techniques{AdaptivePipelining: true, DecoupledBackProp: true}
+	mk := func(t engine.Techniques, unroll int) *engine.Engine {
 		return engine.New(job, stats, engine.Options{Techniques: &t, UnrollIterations: unroll})
 	}
 	var g GallerySlots
-	ff, err := mk(core.AllTechniques, 1).Plan(0)
+	ff, err := mk(engine.AllTechniques, 1).Plan(0)
 	if err != nil {
 		return g, err
 	}
@@ -52,12 +51,12 @@ func Gallery() (GallerySlots, error) {
 		return g, err
 	}
 	g.Decoupled = dec.Schedule.ComputeMakespan(0)
-	st, err := mk(core.AllTechniques, 4).PlanConcrete(failed)
+	st, err := mk(engine.AllTechniques, 4).PlanConcrete(failed)
 	if err != nil {
 		return g, err
 	}
 	g.StaggeredPeriod = st.PeriodSlots
-	ffu, err := mk(core.AllTechniques, 4).Plan(0)
+	ffu, err := mk(engine.AllTechniques, 4).Plan(0)
 	if err != nil {
 		return g, err
 	}
@@ -136,16 +135,15 @@ func Fig10() ([]Fig10Row, string, error) {
 		if err != nil {
 			return nil, "", fmt.Errorf("fig10: %s: %w", job.Model.Name, err)
 		}
-		planner := core.New(job, stats)
-		planner.UnrollIterations = 2
-		ffPlan, err := planner.PlanFor(0)
+		eng := engine.New(job, stats, engine.Options{UnrollIterations: 2})
+		ffPlan, err := eng.Plan(0)
 		if err != nil {
 			return nil, "", err
 		}
 		total := job.Parallel.Workers()
 		for _, pct := range []float64{1, 5, 10} {
 			f := failure.FailureRate(total, pct)
-			plan, err := planner.PlanFor(f)
+			plan, err := eng.Plan(f)
 			if err != nil {
 				return nil, "", fmt.Errorf("fig10: %s f=%d: %w", job.Model.Name, f, err)
 			}
@@ -182,7 +180,7 @@ func Fig11() ([]Fig11Row, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		avg := func(t core.Techniques) (float64, error) {
+		avg := func(t engine.Techniques) (float64, error) {
 			rc := sim.NewReCycle(job, stats)
 			rc.Planner.Techniques = t
 			ff, err := rc.Throughput(0)
@@ -196,15 +194,15 @@ func Fig11() ([]Fig11Row, string, error) {
 			}
 			return res.Average / ff, nil
 		}
-		a, err := avg(core.Techniques{AdaptivePipelining: true})
+		a, err := avg(engine.Techniques{AdaptivePipelining: true})
 		if err != nil {
 			return nil, "", err
 		}
-		d, err := avg(core.Techniques{AdaptivePipelining: true, DecoupledBackProp: true})
+		d, err := avg(engine.Techniques{AdaptivePipelining: true, DecoupledBackProp: true})
 		if err != nil {
 			return nil, "", err
 		}
-		s, err := avg(core.AllTechniques)
+		s, err := avg(engine.AllTechniques)
 		if err != nil {
 			return nil, "", err
 		}

@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"recycle/internal/config"
-	"recycle/internal/core"
+	"recycle/internal/engine"
 	"recycle/internal/model"
 	"recycle/internal/profile"
 	"recycle/internal/schedule"
@@ -35,16 +35,15 @@ func Fig12() ([]Fig12Row, string, error) {
 		return nil, "", err
 	}
 	mem := costs.Memory(job.Hardware)
-	planner := core.New(job, stats)
-	planner.UnrollIterations = 2
+	eng := engine.New(job, stats, engine.Options{UnrollIterations: 2})
 
 	// 30m failures over 6h on 32 workers: 12 workers down at the end.
 	failures := int(Horizon / (30 * time.Minute))
-	plan, err := planner.PlanFor(failures)
+	plan, err := eng.Plan(failures)
 	if err != nil {
 		return nil, "", err
 	}
-	ffPlan, err := planner.PlanFor(0)
+	ffPlan, err := eng.Plan(0)
 	if err != nil {
 		return nil, "", err
 	}
@@ -131,8 +130,7 @@ func fig13Cell(pp, dp int) (Fig13Cell, error) {
 	if err != nil {
 		return Fig13Cell{}, err
 	}
-	planner := core.New(job, stats)
-	planner.UnrollIterations = 2
+	eng := engine.New(job, stats, engine.Options{UnrollIterations: 2})
 	maxF := dp * pp / 4
 	if maxF < 1 {
 		maxF = 1
@@ -146,7 +144,7 @@ func fig13Cell(pp, dp int) (Fig13Cell, error) {
 			continue
 		}
 		seen[f] = true
-		p, err := planner.PlanFor(f)
+		p, err := eng.Plan(f)
 		if err != nil {
 			return Fig13Cell{}, fmt.Errorf("fig13 PP=%d DP=%d f=%d: %w", pp, dp, f, err)
 		}

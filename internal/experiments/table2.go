@@ -6,9 +6,8 @@ import (
 	"time"
 
 	"recycle/internal/dtrain"
-	"recycle/internal/engine"
-	"recycle/internal/profile"
 	"recycle/internal/schedule"
+	"recycle/internal/sim"
 )
 
 // Table2Row compares the simulator's predicted iteration latency against
@@ -23,14 +22,15 @@ type Table2Row struct {
 
 // Table2 reproduces the simulator-fidelity check of §6.3: the paper
 // validates its simulator against the real cluster within 5.98%. Here the
-// "real" system is the live Go runtime (internal/dtrain) executing the
-// adaptive schedules with calibrated per-op kernel delays standing in for
-// GPU kernels (the host CPU is shared by all executor goroutines, so raw
-// matmul wall-time would measure host contention, not schedule fidelity —
-// see DESIGN.md). The simulator predicts each configuration's iteration
-// makespan from the same per-op durations; the gap measures everything the
-// simulator abstracts away: goroutine scheduling, channel transport,
-// barrier skew.
+// comparison is by construction on one artifact: the runtime's plan
+// service compiles the adaptive schedule into a Program, the live runtime
+// (internal/dtrain) interprets that Program with real tensors and
+// calibrated per-op kernel delays standing in for GPU kernels, and the
+// discrete-event simulator executes the *same* Program in virtual time
+// under the same per-op durations. The gap measures exactly what the
+// virtual clock abstracts away — goroutine scheduling, channel transport,
+// barrier skew — not any divergence in op ordering, which is impossible:
+// both executors consume the instruction streams schedule.Compile emitted.
 func Table2() ([]Table2Row, string, error) {
 	// Per-op kernel delays in microseconds (TF : TBI : TBW = 1 : 1 : 1).
 	delays := schedule.Durations{F: 10000, BInput: 10000, BWeight: 10000, Opt: 15000, Comm: 0}
@@ -50,13 +50,26 @@ func Table2() ([]Table2Row, string, error) {
 	}
 	var rows []Table2Row
 	var b strings.Builder
-	fmt.Fprintf(&b, "Table 2: live runtime vs simulator iteration latency\n")
+	fmt.Fprintf(&b, "Table 2: live runtime vs simulator, one compiled Program each\n")
 	fmt.Fprintf(&b, "%-12s %9s %14s %13s %8s\n", "config", "failures", "predicted(ms)", "measured(ms)", "gap%")
 	for _, c := range configs {
 		rt := dtrain.New(c.cfg)
 		for _, w := range c.failures {
 			rt.Fail(w)
 		}
+		// The prediction: execute the runtime's own compiled Program in
+		// virtual time, with the calibrated kernel delays as op durations
+		// (1 duration unit = 1 microsecond).
+		prog, err := rt.Program()
+		if err != nil {
+			return nil, "", err
+		}
+		ex, err := sim.ExecuteProgram(prog, sim.ProgramOptions{Durations: &delays})
+		if err != nil {
+			return nil, "", err
+		}
+		predicted := float64(ex.Makespan) * 1e-6
+
 		const warm, meas = 1, 2
 		for i := 0; i < warm; i++ {
 			if _, err := rt.RunIteration(); err != nil {
@@ -71,20 +84,6 @@ func Table2() ([]Table2Row, string, error) {
 		}
 		measured := time.Since(start).Seconds() / meas
 
-		// The simulator-side prediction comes from the same plan service
-		// the runtime uses, with the calibrated per-op delays as the
-		// profiled statistics (1 duration unit = 1 microsecond).
-		job, _ := engine.ShapeJob(c.cfg.DP, c.cfg.PP, c.cfg.MB)
-		stats := profile.Stats{
-			TF: delays.F, TBInput: delays.BInput, TBWeight: delays.BWeight,
-			TOpt: delays.Opt, TComm: delays.Comm, UnitSeconds: 1e-6,
-		}
-		eng := engine.New(job, stats, engine.Options{UnrollIterations: 1})
-		plan, err := eng.PlanConcrete(c.failures)
-		if err != nil {
-			return nil, "", err
-		}
-		predicted := float64(plan.Schedule.Makespan(0, nil)) * 1e-6
 		gap := (measured - predicted) / measured * 100
 		row := Table2Row{Name: c.name, Failures: len(c.failures), PredictedSec: predicted, MeasuredSec: measured, GapPct: gap}
 		rows = append(rows, row)

@@ -78,6 +78,63 @@ func TestAverage(t *testing.T) {
 	}
 }
 
+// TestAtMatchesLinearScan pins the binary-search At against the obvious
+// linear reference on generated traces, probing exact step instants, the
+// gaps between them, and both ends.
+func TestAtMatchesLinearScan(t *testing.T) {
+	linear := func(tr Trace, d time.Duration) int {
+		avail := tr.Total
+		for _, s := range tr.Steps {
+			if s.At > d {
+				break
+			}
+			avail = s.Available
+		}
+		return avail
+	}
+	check := func(seed int64) bool {
+		tr := Poisson(24, 40*time.Minute, time.Hour, 6*time.Hour, seed)
+		probes := []time.Duration{0, time.Nanosecond, 3 * time.Hour, 6 * time.Hour, 7 * time.Hour}
+		for _, s := range tr.Steps {
+			probes = append(probes, s.At, s.At-time.Nanosecond, s.At+time.Nanosecond)
+		}
+		for _, d := range probes {
+			if d < 0 {
+				continue
+			}
+			if tr.At(d) != linear(tr, d) {
+				t.Logf("seed %d: At(%v) = %d, linear says %d", seed, d, tr.At(d), linear(tr, d))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkTraceAt guards the O(log steps) lookup: a dense 6h Poisson
+// trace probed across the horizon. The former linear scan walked half the
+// step list per query on average; regressions reintroducing it show up as
+// a ~100x blowup here.
+func BenchmarkTraceAt(b *testing.B) {
+	tr := Poisson(2048, 30*time.Second, time.Minute, 6*time.Hour, 11)
+	b.Logf("trace has %d steps", len(tr.Steps))
+	probe := make([]time.Duration, 1024)
+	for i := range probe {
+		probe[i] = time.Duration(i) * (6 * time.Hour) / time.Duration(len(probe))
+	}
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += tr.At(probe[i%len(probe)])
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+}
+
 // TestFailureRate checks the Fig 10 percentage conversion.
 func TestFailureRate(t *testing.T) {
 	if got := FailureRate(2048, 10); got != 205 {

@@ -4,7 +4,6 @@ import (
 	"reflect"
 	"testing"
 
-	"recycle/internal/core"
 	"recycle/internal/engine"
 	"recycle/internal/planstore"
 )
@@ -16,7 +15,7 @@ import (
 // identical plan.
 func TestEncodedPlanSurvivesReplicaFailure(t *testing.T) {
 	job, stats := engine.ShapeJob(3, 4, 6)
-	planner := core.New(job, stats)
+	planner := engine.NewPlanner(job, stats)
 	planner.UnrollIterations = 2
 	plan, err := planner.PlanFor(1)
 	if err != nil {

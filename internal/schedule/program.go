@@ -1,0 +1,370 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DepKind classifies one explicit dependency edge of a compiled Program.
+type DepKind int8
+
+const (
+	// DepActivation is a cross-stage forward edge: the consumer's forward
+	// needs the upstream stage's activation (Eq. 2). Pays Durations.Comm.
+	DepActivation DepKind = iota
+	// DepGradient is a cross-stage backward edge: the consumer's
+	// backward-input needs the downstream stage's input gradient (Eq. 3).
+	// Pays Durations.Comm.
+	DepGradient
+	// DepLocal is a same-worker data dependency with no transport: the
+	// backward needs its own forward's activation stash, and BWeight needs
+	// its BInput's saved gradients (Eq. 4).
+	DepLocal
+	// DepAllReduce gates an optimizer step on a weight-gradient
+	// contribution of its stage: every BWeight (or coupled B) of the stage
+	// and iteration, on every live peer, must finish before any peer steps.
+	DepAllReduce
+)
+
+// String implements fmt.Stringer.
+func (k DepKind) String() string {
+	switch k {
+	case DepActivation:
+		return "act"
+	case DepGradient:
+		return "grad"
+	case DepLocal:
+		return "local"
+	case DepAllReduce:
+		return "allreduce"
+	default:
+		return fmt.Sprintf("DepKind(%d)", int8(k))
+	}
+}
+
+// Dep is one incoming edge of an instruction: the producing instruction's
+// index and the edge kind (which decides whether communication latency is
+// charged on top of the producer's completion).
+type Dep struct {
+	From int
+	Kind DepKind
+}
+
+// Instr is one instruction of a compiled Program: an op plus its explicit
+// dependency edges. Same-worker program order is NOT encoded as edges — it
+// is implicit in the worker's stream — so Deps carry only data and barrier
+// dependencies.
+type Instr struct {
+	ID   int
+	Op   Op
+	Deps []Dep
+}
+
+// Program is the executable form of a Schedule: per-worker instruction
+// streams plus an explicit dependency graph. It is the single artifact both
+// executors consume — internal/dtrain interprets it with real tensors and
+// goroutines, internal/sim executes it in virtual time — so op ordering is
+// decided here, once, and nowhere else.
+type Program struct {
+	Shape     Shape
+	Durations Durations
+	Failed    map[Worker]bool
+	// Instrs holds every instruction, indexed by ID, in the schedule's
+	// canonical global order.
+	Instrs []Instr
+	// Streams maps each worker to the IDs it executes, in execution order
+	// (the schedule's start order for that worker).
+	Streams map[Worker][]int
+
+	workers []Worker
+}
+
+// Workers returns every worker with a non-empty stream in (pipeline, stage)
+// order. Compiled programs carry a precomputed list; hand-assembled ones
+// (tests, fuzzing) derive it from the streams on each call.
+func (p *Program) Workers() []Worker {
+	if p.workers != nil {
+		return p.workers
+	}
+	return sortedWorkers(p.Streams)
+}
+
+// sortedWorkers lists the stream keys in (pipeline, stage) order.
+func sortedWorkers(streams map[Worker][]int) []Worker {
+	ws := make([]Worker, 0, len(streams))
+	for w := range streams {
+		ws = append(ws, w)
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Pipeline != ws[j].Pipeline {
+			return ws[i].Pipeline < ws[j].Pipeline
+		}
+		return ws[i].Stage < ws[j].Stage
+	})
+	return ws
+}
+
+// EdgeLatency returns the transport latency charged on an edge kind under
+// the given duration set: cross-stage activation/gradient sends pay Comm,
+// local and barrier edges are free. The rule lives on Durations — not on
+// Program — so an executor substituting its own durations (the simulator's
+// ProgramOptions.Durations) charges edges by the same single rule the
+// runtime uses.
+func (d Durations) EdgeLatency(k DepKind) int64 {
+	if k == DepActivation || k == DepGradient {
+		return d.Comm
+	}
+	return 0
+}
+
+// EdgeLatency returns the transport latency charged on an edge kind under
+// the program's own durations.
+func (p *Program) EdgeLatency(k DepKind) int64 { return p.Durations.EdgeLatency(k) }
+
+// opKey identifies a compute op independently of where it executes.
+type opKey struct {
+	iter, stage, mb, home int
+}
+
+// Compile lowers a schedule into a Program. Every placement becomes one
+// instruction; cross-stage activation/gradient edges, same-worker data
+// dependencies and the per-stage all-reduce barriers are made explicit. The
+// schedule must be complete (every op of every micro-batch placed exactly
+// once); Compile reports schedules it cannot lower.
+func Compile(s *Schedule) (*Program, error) {
+	if s == nil {
+		return nil, fmt.Errorf("schedule: cannot compile a nil schedule")
+	}
+	if err := s.Shape.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Program{
+		Shape:     s.Shape,
+		Durations: s.Durations,
+		Failed:    s.Failed,
+		Instrs:    make([]Instr, len(s.Placements)),
+		Streams:   make(map[Worker][]int),
+	}
+	// First pass: materialize instructions in the schedule's canonical
+	// order and index the producers of every data dependency.
+	fID := make(map[opKey]int)
+	biID := make(map[opKey]int)         // BInput, or coupled B
+	bwID := make(map[opKey]int)         // BWeight, or coupled B
+	optAt := make(map[[3]int]int)       // (iter, stage, exec) -> Optimizer id
+	bwByStage := make(map[[2]int][]int) // (iter, stage) -> BWeight/B ids
+	for i, pl := range s.Placements {
+		p.Instrs[i] = Instr{ID: i, Op: pl.Op}
+		w := pl.Op.Worker()
+		p.Streams[w] = append(p.Streams[w], i)
+		k := opKey{pl.Op.Iter, pl.Op.Stage, pl.Op.MB, pl.Op.Home}
+		switch pl.Op.Type {
+		case F:
+			if prev, dup := fID[k]; dup {
+				return nil, fmt.Errorf("schedule: compile: duplicate F for %s (instr %d and %d)", pl.Op, prev, i)
+			}
+			fID[k] = i
+		case B:
+			if prev, dup := biID[k]; dup {
+				return nil, fmt.Errorf("schedule: compile: duplicate backward for %s (instr %d and %d)", pl.Op, prev, i)
+			}
+			if prev, dup := bwID[k]; dup {
+				return nil, fmt.Errorf("schedule: compile: duplicate weight gradient for %s (instr %d and %d)", pl.Op, prev, i)
+			}
+			biID[k] = i
+			bwID[k] = i
+			bwByStage[[2]int{pl.Op.Iter, pl.Op.Stage}] = append(bwByStage[[2]int{pl.Op.Iter, pl.Op.Stage}], i)
+		case BInput:
+			if prev, dup := biID[k]; dup {
+				return nil, fmt.Errorf("schedule: compile: duplicate BInput for %s (instr %d and %d)", pl.Op, prev, i)
+			}
+			biID[k] = i
+		case BWeight:
+			if prev, dup := bwID[k]; dup {
+				return nil, fmt.Errorf("schedule: compile: duplicate BWeight for %s (instr %d and %d)", pl.Op, prev, i)
+			}
+			bwID[k] = i
+			bwByStage[[2]int{pl.Op.Iter, pl.Op.Stage}] = append(bwByStage[[2]int{pl.Op.Iter, pl.Op.Stage}], i)
+		case Optimizer:
+			ko := [3]int{pl.Op.Iter, pl.Op.Stage, pl.Op.Exec}
+			if prev, dup := optAt[ko]; dup {
+				return nil, fmt.Errorf("schedule: compile: duplicate optimizer for %s (instr %d and %d)", pl.Op, prev, i)
+			}
+			optAt[ko] = i
+		}
+	}
+	// Second pass: attach the explicit dependency edges.
+	for i := range p.Instrs {
+		op := p.Instrs[i].Op
+		k := opKey{op.Iter, op.Stage, op.MB, op.Home}
+		switch op.Type {
+		case F:
+			if op.Stage > 0 {
+				up, ok := fID[opKey{op.Iter, op.Stage - 1, op.MB, op.Home}]
+				if !ok {
+					return nil, fmt.Errorf("schedule: compile: %s has no upstream forward", op)
+				}
+				p.Instrs[i].Deps = append(p.Instrs[i].Deps, Dep{From: up, Kind: DepActivation})
+			}
+		case B, BInput:
+			f, ok := fID[k]
+			if !ok {
+				return nil, fmt.Errorf("schedule: compile: %s has no forward", op)
+			}
+			p.Instrs[i].Deps = append(p.Instrs[i].Deps, Dep{From: f, Kind: DepLocal})
+			if op.Stage < s.Shape.PP-1 {
+				down, ok := biID[opKey{op.Iter, op.Stage + 1, op.MB, op.Home}]
+				if !ok {
+					return nil, fmt.Errorf("schedule: compile: %s has no downstream backward", op)
+				}
+				p.Instrs[i].Deps = append(p.Instrs[i].Deps, Dep{From: down, Kind: DepGradient})
+			}
+		case BWeight:
+			bi, ok := biID[k]
+			if !ok {
+				return nil, fmt.Errorf("schedule: compile: %s has no backward-input", op)
+			}
+			p.Instrs[i].Deps = append(p.Instrs[i].Deps, Dep{From: bi, Kind: DepLocal})
+		case Optimizer:
+			// The per-stage gradient all-reduce: every weight gradient of
+			// this stage and iteration — including rerouted ones computed on
+			// peers — gates every peer's step. A complete schedule carries
+			// exactly DP*MB of them; fewer means a weight gradient is
+			// missing and the barrier would silently weaken.
+			contribs := bwByStage[[2]int{op.Iter, op.Stage}]
+			if got, want := len(contribs), s.Shape.DP*s.Shape.MB; got != want {
+				return nil, fmt.Errorf("schedule: compile: %s gates on %d weight gradients, want %d", op, got, want)
+			}
+			for _, bw := range contribs {
+				p.Instrs[i].Deps = append(p.Instrs[i].Deps, Dep{From: bw, Kind: DepAllReduce})
+			}
+		}
+	}
+	p.workers = sortedWorkers(p.Streams)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Validate checks the Program's structural invariants: every edge points at
+// an existing instruction and relates ops the way its kind claims
+// (edge consistency), streams partition the instruction set, and the graph
+// formed by dependency edges plus same-worker stream order admits a
+// topological order (deadlock-freedom — an executor that runs streams in
+// order and blocks on edges can always make progress).
+func (p *Program) Validate() error {
+	n := len(p.Instrs)
+	seen := make([]bool, n)
+	for w, stream := range p.Streams {
+		for _, id := range stream {
+			if id < 0 || id >= n {
+				return fmt.Errorf("schedule: program: stream of %s references instruction %d outside [0,%d)", w, id, n)
+			}
+			if seen[id] {
+				return fmt.Errorf("schedule: program: instruction %d appears in two streams", id)
+			}
+			seen[id] = true
+			if got := p.Instrs[id].Op.Worker(); got != w {
+				return fmt.Errorf("schedule: program: instruction %d (%s) filed under worker %s", id, p.Instrs[id].Op, w)
+			}
+		}
+	}
+	for i := range seen {
+		if !seen[i] {
+			return fmt.Errorf("schedule: program: instruction %d (%s) is in no stream", i, p.Instrs[i].Op)
+		}
+	}
+	for i := range p.Instrs {
+		to := p.Instrs[i].Op
+		for _, d := range p.Instrs[i].Deps {
+			if d.From < 0 || d.From >= n {
+				return fmt.Errorf("schedule: program: instruction %d depends on %d outside [0,%d)", i, d.From, n)
+			}
+			from := p.Instrs[d.From].Op
+			if err := checkEdge(from, to, d.Kind); err != nil {
+				return fmt.Errorf("schedule: program: edge %d->%d: %w", d.From, i, err)
+			}
+		}
+	}
+	return p.checkAcyclic()
+}
+
+// checkEdge verifies one edge relates the ops its kind claims.
+func checkEdge(from, to Op, k DepKind) error {
+	sameMB := from.Iter == to.Iter && from.MB == to.MB && from.Home == to.Home
+	switch k {
+	case DepActivation:
+		if from.Type != F || to.Type != F || !sameMB || from.Stage != to.Stage-1 {
+			return fmt.Errorf("activation edge must link F(i-1) to F(i) of one micro-batch: %s -> %s", from, to)
+		}
+	case DepGradient:
+		if (from.Type != B && from.Type != BInput) || (to.Type != B && to.Type != BInput) || !sameMB || from.Stage != to.Stage+1 {
+			return fmt.Errorf("gradient edge must link backward(i+1) to backward(i) of one micro-batch: %s -> %s", from, to)
+		}
+	case DepLocal:
+		if from.Worker() != to.Worker() || !sameMB || from.Stage != to.Stage {
+			return fmt.Errorf("local edge must stay on one worker and micro-batch: %s -> %s", from, to)
+		}
+	case DepAllReduce:
+		if (from.Type != BWeight && from.Type != B) || to.Type != Optimizer || from.Stage != to.Stage || from.Iter != to.Iter {
+			return fmt.Errorf("all-reduce edge must link a weight gradient to its stage optimizer: %s -> %s", from, to)
+		}
+	default:
+		return fmt.Errorf("unknown edge kind %v", k)
+	}
+	return nil
+}
+
+// checkAcyclic runs Kahn's algorithm over dependency edges plus implicit
+// same-worker stream edges.
+func (p *Program) checkAcyclic() error {
+	n := len(p.Instrs)
+	indeg := make([]int, n)
+	succs := make([][]int, n)
+	for i := range p.Instrs {
+		for _, d := range p.Instrs[i].Deps {
+			succs[d.From] = append(succs[d.From], i)
+			indeg[i]++
+		}
+	}
+	for _, stream := range p.Streams {
+		for j := 1; j < len(stream); j++ {
+			succs[stream[j-1]] = append(succs[stream[j-1]], stream[j])
+			indeg[stream[j]]++
+		}
+	}
+	queue := make([]int, 0, n)
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		done++
+		for _, s := range succs[i] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if done != n {
+		return fmt.Errorf("schedule: program deadlocks: %d of %d instructions are on a dependency cycle", n-done, n)
+	}
+	return nil
+}
+
+// OpCount returns the number of instructions of the given type (t < 0
+// counts all).
+func (p *Program) OpCount(t OpType) int {
+	n := 0
+	for i := range p.Instrs {
+		if t < 0 || p.Instrs[i].Op.Type == t {
+			n++
+		}
+	}
+	return n
+}

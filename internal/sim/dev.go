@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"recycle/internal/schedule"
+)
+
+// ProgramOptions parameterizes one virtual-time execution of a compiled
+// Program — the scenario knobs the steady-state Throughput(failed) model
+// cannot express.
+type ProgramOptions struct {
+	// Durations overrides the program's per-op-type durations (nil keeps
+	// the durations the schedule was solved with). The Table 2 experiment
+	// uses this to execute a unit-slot program under profiled kernel
+	// latencies.
+	Durations *schedule.Durations
+	// Scale multiplies every op duration on a worker — stragglers (>1) or
+	// fast spares (<1). Workers absent from the map run at 1x.
+	Scale map[schedule.Worker]float64
+	// OpDuration, when non-nil, decides each op's duration from the op and
+	// the default that would otherwise apply — fully heterogeneous per-op
+	// profiles (e.g. a slow first micro-batch, per-stage imbalance).
+	OpDuration func(op schedule.Op, def int64) int64
+	// FailAt kills a worker at a virtual time: instructions that would
+	// still be running at (or start after) the failure instant never
+	// complete, and everything depending on them is left blocked —
+	// mid-iteration failure injection.
+	FailAt map[schedule.Worker]int64
+}
+
+// Execution is the outcome of executing one Program in virtual time.
+type Execution struct {
+	Program *schedule.Program
+	// Start and End hold each instruction's virtual-time span, indexed by
+	// instruction ID; -1 marks instructions that never ran.
+	Start, End []int64
+	// Makespan is the completion time of the last finished instruction.
+	Makespan int64
+	// Completed counts finished instructions.
+	Completed int
+	// Lost holds instructions that never ran because their worker died.
+	Lost []int
+	// Blocked holds instructions on live workers whose dependencies were
+	// never satisfied (they transitively depend on lost work).
+	Blocked []int
+}
+
+// ExecuteProgram runs the program's instruction streams in virtual time:
+// each worker executes its stream in order, every instruction starting as
+// soon as its worker is free and its dependency edges are satisfied
+// (producers finished, plus communication latency on cross-stage edges).
+// This is exactly the recurrence the live runtime's interpreter follows, so
+// on a healthy fleet the predicted timeline and the runtime's logical
+// timeline agree by construction.
+//
+// A program whose instructions cannot all complete without any injected
+// failure is reported as a deadlock error.
+func ExecuteProgram(p *schedule.Program, opt ProgramOptions) (*Execution, error) {
+	if p == nil {
+		return nil, fmt.Errorf("sim: cannot execute a nil program")
+	}
+	durs := p.Durations
+	if opt.Durations != nil {
+		durs = *opt.Durations
+	}
+	durOf := func(w schedule.Worker, op schedule.Op) int64 {
+		d := durs.Of(op.Type)
+		if opt.OpDuration != nil {
+			d = opt.OpDuration(op, d)
+		}
+		if s, ok := opt.Scale[w]; ok && s > 0 {
+			d = int64(math.Round(float64(d) * s))
+		}
+		if d < 0 {
+			d = 0
+		}
+		return d
+	}
+
+	workers := p.Workers()
+	n := len(p.Instrs)
+	ex := &Execution{Program: p, Start: make([]int64, n), End: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		ex.Start[i], ex.End[i] = -1, -1
+	}
+	pos := make(map[schedule.Worker]int, len(workers))
+	free := make(map[schedule.Worker]int64, len(workers))
+	dead := make(map[schedule.Worker]bool, len(opt.FailAt))
+
+	// Fixed-point sweep: each pass advances every worker as far as its
+	// dependencies allow. Instruction start times are a pure function of
+	// producer end times and stream order, so the sweep order cannot
+	// change the resulting timeline.
+	for {
+		progressed := false
+		for _, w := range workers {
+			if dead[w] {
+				continue
+			}
+			stream := p.Streams[w]
+			for pos[w] < len(stream) {
+				id := stream[pos[w]]
+				ins := &p.Instrs[id]
+				ready := int64(0)
+				ok := true
+				for _, d := range ins.Deps {
+					if ex.End[d.From] < 0 {
+						ok = false
+						break
+					}
+					if r := ex.End[d.From] + durs.EdgeLatency(d.Kind); r > ready {
+						ready = r
+					}
+				}
+				if !ok {
+					break
+				}
+				start := free[w]
+				if ready > start {
+					start = ready
+				}
+				end := start + durOf(w, ins.Op)
+				if failAt, failing := opt.FailAt[w]; failing && end > failAt {
+					// The op would still be in flight when the worker dies:
+					// it and everything after it on this worker is lost.
+					dead[w] = true
+					break
+				}
+				ex.Start[id], ex.End[id] = start, end
+				free[w] = end
+				if end > ex.Makespan {
+					ex.Makespan = end
+				}
+				pos[w]++
+				ex.Completed++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	// Classify what never ran.
+	for _, w := range workers {
+		stream := p.Streams[w]
+		for i := pos[w]; i < len(stream); i++ {
+			if dead[w] {
+				ex.Lost = append(ex.Lost, stream[i])
+			} else {
+				ex.Blocked = append(ex.Blocked, stream[i])
+			}
+		}
+	}
+	sort.Ints(ex.Lost)
+	sort.Ints(ex.Blocked)
+	if len(opt.FailAt) == 0 && ex.Completed != n {
+		return ex, fmt.Errorf("sim: program deadlocked with %d of %d instructions unexecuted", n-ex.Completed, n)
+	}
+	return ex, nil
+}
+
+// ComputeMakespan returns the completion time of the last finished
+// F/B/BI/BW instruction of the given iteration — comparable to
+// Schedule.ComputeMakespan and to the live runtime's executed timeline.
+func (e *Execution) ComputeMakespan(iter int) int64 {
+	var out int64
+	for i := range e.Program.Instrs {
+		op := e.Program.Instrs[i].Op
+		if op.Iter != iter || op.Type == schedule.Optimizer || e.End[i] < 0 {
+			continue
+		}
+		if e.End[i] > out {
+			out = e.End[i]
+		}
+	}
+	return out
+}
+
+// WorkerBusy returns each worker's total busy time — utilization
+// numerators for timeline summaries.
+func (e *Execution) WorkerBusy() map[schedule.Worker]int64 {
+	busy := make(map[schedule.Worker]int64, len(e.Program.Workers()))
+	for i := range e.Program.Instrs {
+		if e.End[i] < 0 {
+			continue
+		}
+		w := e.Program.Instrs[i].Op.Worker()
+		busy[w] += e.End[i] - e.Start[i]
+	}
+	return busy
+}
+
+// IterationComplete reports whether every instruction of the iteration
+// finished — false after a mid-iteration failure, where the lost and
+// blocked sets say what the fault took down.
+func (e *Execution) IterationComplete(iter int) bool {
+	for i := range e.Program.Instrs {
+		if e.Program.Instrs[i].Op.Iter == iter && e.End[i] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"testing"
+
+	"recycle/internal/engine"
+	"recycle/internal/schedule"
+)
+
+func compile1F1B(t *testing.T, shape schedule.Shape) *schedule.Program {
+	t.Helper()
+	p, err := schedule.Compile(schedule.FaultFree1F1B(shape, schedule.UnitSlots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestExecuteFaultFreeMatchesSchedule checks the DES against the paper's
+// Figure 3a: the 3x4x6 fault-free program under unit slots completes its
+// compute in 27 slots, exactly the schedule's makespan (1F1B placements are
+// already earliest-start).
+func TestExecuteFaultFreeMatchesSchedule(t *testing.T) {
+	shape := schedule.Shape{DP: 3, PP: 4, MB: 6, Iter: 1}
+	s := schedule.FaultFree1F1B(shape, schedule.UnitSlots)
+	p, err := schedule.Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := ExecuteProgram(p, ProgramOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.ComputeMakespan(0); got != 27 {
+		t.Fatalf("fault-free compute makespan %d slots, want 27", got)
+	}
+	if got, want := ex.ComputeMakespan(0), s.ComputeMakespan(0); got != want {
+		t.Fatalf("DES compute makespan %d != schedule %d", got, want)
+	}
+	if ex.Completed != len(p.Instrs) {
+		t.Fatalf("only %d of %d instructions completed", ex.Completed, len(p.Instrs))
+	}
+	if !ex.IterationComplete(0) {
+		t.Fatal("iteration reported incomplete on a healthy fleet")
+	}
+}
+
+// TestExecuteFaultedProgram executes the running example's adapted plan
+// (W1_2 failed) end to end in virtual time: everything completes, within
+// the solver's makespan, and no op lands on the failed worker.
+func TestExecuteFaultedProgram(t *testing.T) {
+	job, stats := engine.ShapeJob(3, 4, 6)
+	eng := engine.New(job, stats, engine.Options{UnrollIterations: 1})
+	failed := schedule.Worker{Stage: 2, Pipeline: 1}
+	prog, err := eng.ProgramFor(map[schedule.Worker]bool{failed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := ExecuteProgram(prog, ProgramOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Completed != len(prog.Instrs) {
+		t.Fatalf("only %d of %d instructions completed", ex.Completed, len(prog.Instrs))
+	}
+	plan, err := eng.PlanConcrete([]schedule.Worker{failed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, max := ex.ComputeMakespan(0), plan.Schedule.ComputeMakespan(0); got > max {
+		t.Fatalf("eager execution (%d slots) slower than the solved schedule (%d)", got, max)
+	}
+	for _, busy := range []map[schedule.Worker]int64{ex.WorkerBusy()} {
+		if busy[failed] != 0 {
+			t.Fatalf("failed worker %s executed %d slots of work", failed, busy[failed])
+		}
+	}
+}
+
+// TestStragglerStretchesMakespan checks per-worker heterogeneity: slowing
+// one stage-0 worker 4x must strictly lengthen the iteration.
+func TestStragglerStretchesMakespan(t *testing.T) {
+	p := compile1F1B(t, schedule.Shape{DP: 2, PP: 4, MB: 8, Iter: 1})
+	base, err := ExecuteProgram(p, ProgramOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := ExecuteProgram(p, ProgramOptions{
+		Scale: map[schedule.Worker]float64{{Stage: 0, Pipeline: 0}: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Makespan <= base.Makespan {
+		t.Fatalf("straggler makespan %d not above baseline %d", slow.Makespan, base.Makespan)
+	}
+}
+
+// TestHeterogeneousOpDurations checks the per-op hook: charging the first
+// micro-batch a warm-up premium stretches the timeline by at least that
+// premium.
+func TestHeterogeneousOpDurations(t *testing.T) {
+	p := compile1F1B(t, schedule.Shape{DP: 1, PP: 2, MB: 4, Iter: 1})
+	base, err := ExecuteProgram(p, ProgramOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := ExecuteProgram(p, ProgramOptions{
+		OpDuration: func(op schedule.Op, def int64) int64 {
+			if op.Type == schedule.F && op.MB == 0 && op.Stage == 0 {
+				return def + 10 // cold kernel on the very first forward
+			}
+			return def
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Makespan < base.Makespan+10 {
+		t.Fatalf("warm-up premium not on the critical path: %d vs base %d", warm.Makespan, base.Makespan)
+	}
+}
+
+// TestMidIterationFailure kills a stage-1 worker mid-iteration: upstream
+// work completes, the worker's remaining ops are lost, and downstream
+// consumers block — the scenario a steady-state throughput scalar cannot
+// model.
+func TestMidIterationFailure(t *testing.T) {
+	p := compile1F1B(t, schedule.Shape{DP: 1, PP: 3, MB: 6, Iter: 1})
+	victim := schedule.Worker{Stage: 1, Pipeline: 0}
+	ex, err := ExecuteProgram(p, ProgramOptions{
+		FailAt: map[schedule.Worker]int64{victim: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Lost) == 0 {
+		t.Fatal("no instructions lost on the failed worker")
+	}
+	if len(ex.Blocked) == 0 {
+		t.Fatal("no downstream instructions blocked on the lost work")
+	}
+	if ex.IterationComplete(0) {
+		t.Fatal("iteration reported complete despite a mid-iteration failure")
+	}
+	for _, id := range ex.Lost {
+		if got := p.Instrs[id].Op.Worker(); got != victim {
+			t.Fatalf("instruction %d lost on %s, victim is %s", id, got, victim)
+		}
+	}
+	// Work that finished before the failure stays finished.
+	if ex.Completed == 0 {
+		t.Fatal("no instruction completed before the failure instant")
+	}
+}
+
+// TestDeadlockDetected checks that a cyclic hand-built program is reported
+// instead of spinning or silently under-executing.
+func TestDeadlockDetected(t *testing.T) {
+	w0 := schedule.Worker{Stage: 0, Pipeline: 0}
+	op := func(mb int, typ schedule.OpType) schedule.Op {
+		return schedule.Op{Stage: 0, MB: mb, Home: 0, Exec: 0, Type: typ}
+	}
+	p := &schedule.Program{
+		Shape:     schedule.Shape{DP: 1, PP: 1, MB: 2, Iter: 1},
+		Durations: schedule.UnitSlots,
+		Instrs: []schedule.Instr{
+			{ID: 0, Op: op(0, schedule.F), Deps: []schedule.Dep{{From: 1, Kind: schedule.DepLocal}}},
+			{ID: 1, Op: op(1, schedule.F)},
+		},
+		Streams: map[schedule.Worker][]int{w0: {0, 1}},
+	}
+	if _, err := ExecuteProgram(p, ProgramOptions{}); err == nil {
+		t.Fatal("expected a deadlock error for a cyclic program")
+	}
+}

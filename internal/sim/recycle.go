@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"recycle/internal/config"
-	"recycle/internal/core"
 	"recycle/internal/engine"
 	"recycle/internal/profile"
+	"recycle/internal/schedule"
 )
 
 // ReCycle adapts the plan service (internal/engine) to the simulator's
@@ -15,9 +15,10 @@ import (
 // a detection delay plus one point-to-point parameter migration per new
 // failure (Failure Normalization, §4.2.1).
 type ReCycle struct {
-	// Planner is the engine's planner, exposed for technique retuning
-	// (the Fig 11 ablation) and the throughput conversion helpers.
-	Planner *core.Planner
+	// Planner is the engine's planning core, exposed for technique
+	// retuning (the Fig 11 ablation) and the throughput conversion
+	// helpers.
+	Planner *engine.Planner
 	// DetectSeconds is the failure-detection latency charged per event.
 	DetectSeconds float64
 
@@ -39,8 +40,15 @@ func (r *ReCycle) Name() string { return "ReCycle" }
 
 // Plan returns the adaptive plan for n failures via the plan service's
 // get-or-solve path (cache, then replicated store, then one solve).
-func (r *ReCycle) Plan(n int) (*core.Plan, error) {
+func (r *ReCycle) Plan(n int) (*engine.Plan, error) {
 	return r.eng.Plan(n)
+}
+
+// Program returns the compiled Program for n failures — the op-level
+// executable artifact ExecuteProgram runs in virtual time, the same one
+// the live runtime interprets.
+func (r *ReCycle) Program(n int) (*schedule.Program, error) {
+	return r.eng.Program(n)
 }
 
 // PrePlan runs the offline phase of Fig 8: plans for 0..maxFailures are
