@@ -124,6 +124,25 @@ func BenchmarkTable2SimFidelity(b *testing.B) {
 	b.ReportMetric(worst, "max-gap-%")
 }
 
+// BenchmarkStragglerReplanGain regenerates the gray-failure study: the
+// throughput a cost-model-aware re-plan recovers from a 2x straggler,
+// relative to the straggler-oblivious plan, under the DES virtual clock.
+func BenchmarkStragglerReplanGain(b *testing.B) {
+	var rows []experiments.StragglerRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.Straggler()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Factor == 2 {
+			b.ReportMetric(r.GainPct, "gain-%-at-2x")
+		}
+	}
+}
+
 // BenchmarkFig9TraceReplay regenerates Figure 9 (GCP trace replay).
 func BenchmarkFig9TraceReplay(b *testing.B) {
 	var res []experiments.Fig9Result

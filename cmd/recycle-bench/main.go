@@ -16,14 +16,15 @@ import (
 
 // report is the machine-readable shape of one full evaluation run.
 type report struct {
-	Gallery experiments.GallerySlots
-	Table1  []experiments.Table1Row
-	Table2  []experiments.Table2Row
-	Fig9    []experiments.Fig9Result
-	Fig10   []experiments.Fig10Row
-	Fig11   []experiments.Fig11Row
-	Fig12   []experiments.Fig12Row
-	Fig13   []experiments.Fig13Cell
+	Gallery   experiments.GallerySlots
+	Table1    []experiments.Table1Row
+	Table2    []experiments.Table2Row
+	Straggler []experiments.StragglerRow
+	Fig9      []experiments.Fig9Result
+	Fig10     []experiments.Fig10Row
+	Fig11     []experiments.Fig11Row
+	Fig12     []experiments.Fig12Row
+	Fig13     []experiments.Fig13Cell
 }
 
 func main() {
@@ -53,6 +54,10 @@ func main() {
 	emit(t)
 
 	rep.Table2, t, err = experiments.Table2()
+	check(err)
+	emit(t)
+
+	rep.Straggler, t, err = experiments.Straggler()
 	check(err)
 	emit(t)
 

@@ -21,6 +21,7 @@ import (
 
 	"recycle/internal/baselines"
 	"recycle/internal/config"
+	"recycle/internal/experiments"
 	"recycle/internal/failure"
 	"recycle/internal/profile"
 	"recycle/internal/schedule"
@@ -36,6 +37,7 @@ func main() {
 	preplan := flag.Bool("preplan", false, "run the offline phase first: precompute all tolerated plans concurrently")
 	des := flag.Int("des", -1, "execute the compiled Program for this failure count op-by-op in virtual time instead of replaying a trace")
 	straggle := flag.Float64("straggle", 1, "with -des: duration multiplier applied to worker W0_0 (straggler injection)")
+	aware := flag.Bool("aware", true, "with -des and -straggle != 1: also solve a straggler-aware plan (cost model carries the slowdown) and compare makespans")
 	flag.Parse()
 
 	jobs := map[string]config.Job{
@@ -55,7 +57,7 @@ func main() {
 	}
 	rc := sim.NewReCycle(job, stats)
 	if *des >= 0 {
-		if err := desTimeline(rc, job, *des, *straggle); err != nil {
+		if err := desTimeline(rc, job, stats, *des, *straggle, *aware); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -118,8 +120,10 @@ func main() {
 
 // desTimeline compiles the plan for n failures into a Program and executes
 // it op-by-op in virtual time — the schedule-accurate view the scalar
-// throughput model cannot give.
-func desTimeline(rc *sim.ReCycle, job config.Job, n int, straggle float64) error {
+// throughput model cannot give. With a straggler injected, it additionally
+// re-solves with the slowdown in the Planner's cost model and reports how
+// much makespan the straggler-aware plan recovers.
+func desTimeline(rc *sim.ReCycle, job config.Job, stats profile.Stats, n int, straggle float64, aware bool) error {
 	prog, err := rc.Program(n)
 	if err != nil {
 		return err
@@ -152,6 +156,16 @@ func desTimeline(rc *sim.ReCycle, job config.Job, n int, straggle float64) error
 		}
 	}
 	fmt.Printf("  most idle worker: %s (%.1f%% idle)\n", worst, worstIdle*100)
+	if straggle != 1 && aware {
+		row, err := experiments.StragglerStudyJob(job, stats, n, victim, straggle)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nstraggler-aware re-plan (cost model carries %s at %.2fx):\n", victim, straggle)
+		fmt.Printf("  oblivious plan makespan: %d slots (victim executes %d compute ops)\n", row.ObliviousSlots, row.VictimOps)
+		fmt.Printf("  aware plan makespan:     %d slots (victim executes %d compute ops)\n", row.AwareSlots, row.VictimOpsAware)
+		fmt.Printf("  throughput gain from re-planning: %+.1f%%\n", row.GainPct)
+	}
 	m := rc.PlanMetrics()
 	fmt.Printf("plan service: %d solves, %d programs compiled\n", m.Solves, m.Compiles)
 	return nil

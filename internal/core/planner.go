@@ -18,7 +18,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"recycle/internal/config"
@@ -56,6 +55,12 @@ type Planner struct {
 	Job        config.Job
 	Stats      profile.Stats
 	Techniques Techniques
+	// Costs is the heterogeneous cost model: per-(stage, op, worker)
+	// durations built from Stats plus straggler/stage multipliers. Nil
+	// plans with the homogeneous Stats durations. The model is treated as
+	// immutable — straggler updates install a fresh copy (copy-on-write),
+	// so snapshotting the Planner by value is always safe.
+	Costs *profile.CostModel
 	// UnrollIterations controls the steady-state measurement window
 	// (>= 1; 0 defaults to 3). The live runtime plans one iteration at a
 	// time; throughput analyses unroll 2+ iterations so SteadyPeriod can
@@ -126,17 +131,10 @@ func (p *Planner) PlanConcrete(failed []schedule.Worker) (*Plan, error) {
 	return p.solve(sh, assign, ws, time.Now())
 }
 
-// SortWorkers orders workers canonically by (stage, pipeline) — the one
-// ordering used for concrete plans, plan-store keys, wire encoding and
-// failed-set comparison.
-func SortWorkers(ws []schedule.Worker) {
-	sort.Slice(ws, func(i, j int) bool {
-		if ws[i].Stage != ws[j].Stage {
-			return ws[i].Stage < ws[j].Stage
-		}
-		return ws[i].Pipeline < ws[j].Pipeline
-	})
-}
+// SortWorkers orders workers canonically by (stage, pipeline). It
+// delegates to schedule.SortWorkers, the single definition of the order;
+// the alias survives for the engine's re-export and existing callers.
+func SortWorkers(ws []schedule.Worker) { schedule.SortWorkers(ws) }
 
 // solve runs the schedule generation phase shared by PlanFor and
 // PlanConcrete: the failed-worker set is fixed, the techniques translate
@@ -149,9 +147,14 @@ func (p *Planner) solve(sh schedule.Shape, assign []int, failed []schedule.Worke
 	for _, w := range failed {
 		failedSet[w] = true
 	}
+	var costs schedule.CostFunc
+	if p.Costs != nil {
+		costs = p.Costs.Fn()
+	}
 	in := solver.Input{
 		Shape:          sh,
 		Durations:      p.Stats.Durations(),
+		Costs:          costs,
 		Failed:         failedSet,
 		MemCapPerStage: p.Stats.MemCapPerStage,
 		Decoupled:      p.Techniques.DecoupledBackProp,

@@ -1,13 +1,3 @@
-// Package dtrain is the live distributed-training runtime of the
-// reproduction: pipeline stages run as executor goroutines exchanging
-// activations and gradients through a message router, driven by
-// instruction streams compiled from the Planner's adaptive schedules. It
-// implements the paper's §5 mechanisms — ReRouteAct / ReRouteGrad
-// (micro-batch rerouting to data-parallel peers), the WeightGradStore
-// (deferred weight gradients), per-stage optimizer steps with post-step
-// validation and rollback — on a real (small) model, which lets the tests
-// prove the paper's central invariant: adapted execution computes exactly
-// the same gradients as fault-free execution.
 package dtrain
 
 import (

@@ -1,6 +1,7 @@
 package dtrain
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -12,27 +13,56 @@ import (
 // driver marks a worker failed when heartbeats stop arriving within the
 // timeout, and invokes the registered callback (the Coordinator's
 // plan-switch path).
+//
+// Beyond hard failures, the heartbeat payload carries per-op timing
+// statistics (ObserveOp), from which the detector flags gray failures —
+// slow-but-alive workers whose compute runs a configurable multiple above
+// the fleet median. The straggler callback is the Coordinator's re-plan
+// trigger: it feeds engine.MarkStraggler, which retunes the cost model so
+// the next plan fetch re-solves and routes around the slow worker.
 type Detector struct {
 	Timeout time.Duration
+	// StraggleFactor is the slowdown multiple over the fleet median mean
+	// op time at which a live worker is flagged as a straggler. <= 1
+	// disables gray-failure detection. Typical: 1.5.
+	StraggleFactor float64
+	// MinObservations is how many op timings a worker must report before
+	// its mean is trusted (0 defaults to 4).
+	MinObservations int
 
-	mu       sync.Mutex
-	lastSeen map[schedule.Worker]time.Time
-	failed   map[schedule.Worker]bool
-	onFail   func(schedule.Worker)
-	stop     chan struct{}
-	done     chan struct{}
+	mu         sync.Mutex
+	lastSeen   map[schedule.Worker]time.Time
+	failed     map[schedule.Worker]bool
+	opSum      map[schedule.Worker]time.Duration
+	opN        map[schedule.Worker]int
+	straggling map[schedule.Worker]float64
+	onFail     func(schedule.Worker)
+	onStraggle func(schedule.Worker, float64)
+	stop       chan struct{}
+	done       chan struct{}
 }
 
 // NewDetector builds a detector; onFail runs once per detected failure.
 func NewDetector(timeout time.Duration, onFail func(schedule.Worker)) *Detector {
 	return &Detector{
-		Timeout:  timeout,
-		lastSeen: make(map[schedule.Worker]time.Time),
-		failed:   make(map[schedule.Worker]bool),
-		onFail:   onFail,
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		Timeout:    timeout,
+		lastSeen:   make(map[schedule.Worker]time.Time),
+		failed:     make(map[schedule.Worker]bool),
+		opSum:      make(map[schedule.Worker]time.Duration),
+		opN:        make(map[schedule.Worker]int),
+		straggling: make(map[schedule.Worker]float64),
+		onFail:     onFail,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
+}
+
+// OnStraggle registers the gray-failure callback; it runs once per flagged
+// worker (until cleared) with the observed slowdown factor.
+func (d *Detector) OnStraggle(cb func(w schedule.Worker, factor float64)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onStraggle = cb
 }
 
 // Heartbeat records a liveness signal from a worker. A heartbeat from a
@@ -77,7 +107,8 @@ func (d *Detector) Stop() {
 	<-d.done
 }
 
-// sweep marks workers whose heartbeats have lapsed.
+// sweep marks workers whose heartbeats have lapsed, then re-evaluates the
+// straggler statistics.
 func (d *Detector) sweep() {
 	now := time.Now()
 	var newly []schedule.Worker
@@ -98,4 +129,94 @@ func (d *Detector) sweep() {
 			cb(w)
 		}
 	}
+	d.DetectStragglers()
+}
+
+// ObserveOp records one measured compute-op duration for a worker — the
+// health-statistics half of the §5 heartbeat payload. It also counts as a
+// liveness signal.
+func (d *Detector) ObserveOp(w schedule.Worker, t schedule.OpType, dur time.Duration) {
+	if t == schedule.Optimizer {
+		return // includes all-reduce wait time; not a compute health signal
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lastSeen[w] = time.Now()
+	d.opSum[w] += dur
+	d.opN[w]++
+}
+
+// DetectStragglers evaluates the observed op timings now: any live worker
+// whose mean op time exceeds StraggleFactor × the fleet median is flagged
+// (once, until cleared) and the straggler callback runs for it. The
+// returned map holds every currently flagged worker and its slowdown.
+func (d *Detector) DetectStragglers() map[schedule.Worker]float64 {
+	var newly []schedule.Worker
+	newlyFactor := make(map[schedule.Worker]float64)
+	d.mu.Lock()
+	if d.StraggleFactor > 1 {
+		minObs := d.MinObservations
+		if minObs <= 0 {
+			minObs = 4
+		}
+		var means []float64
+		perWorker := make(map[schedule.Worker]float64)
+		for w, n := range d.opN {
+			if n < minObs || d.failed[w] {
+				continue
+			}
+			m := float64(d.opSum[w]) / float64(n)
+			perWorker[w] = m
+			means = append(means, m)
+		}
+		if len(means) >= 2 {
+			sort.Float64s(means)
+			median := means[len(means)/2]
+			if median > 0 {
+				for w, m := range perWorker {
+					factor := m / median
+					if factor >= d.StraggleFactor && d.straggling[w] == 0 {
+						d.straggling[w] = factor
+						newly = append(newly, w)
+						newlyFactor[w] = factor
+					}
+				}
+			}
+		}
+	}
+	out := make(map[schedule.Worker]float64, len(d.straggling))
+	for w, f := range d.straggling {
+		out[w] = f
+	}
+	cb := d.onStraggle
+	d.mu.Unlock()
+	schedule.SortWorkers(newly)
+	if cb != nil {
+		for _, w := range newly {
+			cb(w, newlyFactor[w])
+		}
+	}
+	return out
+}
+
+// Stragglers returns the currently flagged gray-failed workers and their
+// observed slowdown factors.
+func (d *Detector) Stragglers() map[schedule.Worker]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[schedule.Worker]float64, len(d.straggling))
+	for w, f := range d.straggling {
+		out[w] = f
+	}
+	return out
+}
+
+// ClearStraggler unflags a worker (recovered gray failure) and resets its
+// timing statistics so it must re-earn trust.
+func (d *Detector) ClearStraggler(w schedule.Worker) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.straggling, w)
+	delete(d.opSum, w)
+	delete(d.opN, w)
 }

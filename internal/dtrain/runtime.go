@@ -9,6 +9,7 @@ import (
 
 	"recycle/internal/engine"
 	"recycle/internal/nn"
+	"recycle/internal/profile"
 	"recycle/internal/schedule"
 	"recycle/internal/tensor"
 )
@@ -27,6 +28,11 @@ type Config struct {
 	// runtime's wall-clock timeline can be compared against the
 	// simulator's prediction (Table 2) independent of host CPU contention.
 	Delays schedule.Durations
+	// CostModel seeds the plan service with per-(stage, op, worker)
+	// durations (nil plans with homogeneous unit costs). The dep board
+	// then propagates the stamped heterogeneous durations, so the logical
+	// timeline matches the simulator's under the same cost model.
+	CostModel *profile.CostModel
 }
 
 // errAborted marks an executor unwound by a peer's abort: its messages
@@ -68,6 +74,10 @@ type Runtime struct {
 	stepped   map[schedule.Worker]int // optimizer steps applied this iteration
 	opSeconds map[schedule.OpType]time.Duration
 	opCounts  map[schedule.OpType]int
+	// Per-worker timing — the Profiler view straggler detection needs.
+	wOpSeconds map[schedule.Worker]time.Duration
+	wOpCounts  map[schedule.Worker]int
+	detector   *Detector
 
 	// Executed timeline of the last iteration: the interpreted Program and
 	// each instruction's logical slot-time span, as propagated along the
@@ -82,15 +92,17 @@ type Runtime struct {
 func New(cfg Config) *Runtime {
 	job, stats := engine.ShapeJob(cfg.DP, cfg.PP, cfg.MB)
 	rt := &Runtime{
-		Cfg:       cfg,
-		eng:       engine.New(job, stats, engine.Options{UnrollIterations: 1}),
-		Dataset:   NewDataset(cfg.InDim, cfg.OutDim, cfg.MicroBatchSize, cfg.Seed),
-		stages:    make(map[schedule.Worker]*nn.Stage),
-		opts:      make(map[schedule.Worker]nn.Optimizer),
-		failed:    make(map[schedule.Worker]bool),
-		losses:    make(map[nn.MBKey]float64),
-		opSeconds: make(map[schedule.OpType]time.Duration),
-		opCounts:  make(map[schedule.OpType]int),
+		Cfg:        cfg,
+		eng:        engine.New(job, stats, engine.Options{UnrollIterations: 1, CostModel: cfg.CostModel}),
+		Dataset:    NewDataset(cfg.InDim, cfg.OutDim, cfg.MicroBatchSize, cfg.Seed),
+		stages:     make(map[schedule.Worker]*nn.Stage),
+		opts:       make(map[schedule.Worker]nn.Optimizer),
+		failed:     make(map[schedule.Worker]bool),
+		losses:     make(map[nn.MBKey]float64),
+		opSeconds:  make(map[schedule.OpType]time.Duration),
+		opCounts:   make(map[schedule.OpType]int),
+		wOpSeconds: make(map[schedule.Worker]time.Duration),
+		wOpCounts:  make(map[schedule.Worker]int),
 	}
 	for k := 0; k < cfg.DP; k++ {
 		// Every pipeline gets an identical replica: same seed.
@@ -270,7 +282,15 @@ func (rt *Runtime) exec(w schedule.Worker, prog *schedule.Program, board *depBoa
 		rt.mu.Lock()
 		rt.opSeconds[t] += d
 		rt.opCounts[t]++
+		if t != schedule.Optimizer {
+			rt.wOpSeconds[w] += d
+			rt.wOpCounts[w]++
+		}
+		det := rt.detector
 		rt.mu.Unlock()
+		if det != nil {
+			det.ObserveOp(w, t, d)
+		}
 	}
 	// bail posts every instruction from stream position si onward as a
 	// zero-length span — the abort path, keeping peers' dependency waits
@@ -290,7 +310,7 @@ func (rt *Runtime) exec(w schedule.Worker, prog *schedule.Program, board *depBoa
 		if ready := board.wait(prog, ins.Deps); ready > start {
 			start = ready
 		}
-		end := start + prog.Durations.Of(op.Type)
+		end := start + prog.DurOf(id)
 		switch op.Type {
 		case schedule.F:
 			var x *tensor.Matrix
@@ -450,6 +470,44 @@ func (rt *Runtime) ExecutedComputeMakespan() int64 {
 		}
 		if e := rt.lastEnds[i]; e > out {
 			out = e
+		}
+	}
+	return out
+}
+
+// AttachDetector routes per-op timing observations into a failure/straggler
+// detector — the heartbeat statistics stream of §5. Attach before the first
+// RunIteration; the detector's OnStraggle callback is where the Coordinator
+// triggers a straggler-aware re-plan (typically rt.MarkStraggler).
+func (rt *Runtime) AttachDetector(d *Detector) {
+	rt.mu.Lock()
+	rt.detector = d
+	rt.mu.Unlock()
+}
+
+// MarkStraggler retunes the plan service's cost model: the worker's ops are
+// modeled at factor × the profiled durations, the plan fingerprint changes,
+// and the next Program() fetch re-solves — timing the slow worker honestly
+// and routing micro-batches away from it. The worker stays live: it keeps
+// its stage replica, all-reduce participation and optimizer steps, so
+// training math is unchanged (demotion, not failure).
+func (rt *Runtime) MarkStraggler(w schedule.Worker, factor float64) {
+	rt.eng.MarkStraggler(w, factor)
+}
+
+// ClearStraggler removes a worker's straggler mark; subsequent iterations
+// plan with its profiled speed again.
+func (rt *Runtime) ClearStraggler(w schedule.Worker) { rt.eng.ClearStraggler(w) }
+
+// MeasuredWorkerTimes returns each worker's mean wall-clock compute-op
+// duration — the per-worker Profiler view straggler detection consumes.
+func (rt *Runtime) MeasuredWorkerTimes() map[schedule.Worker]time.Duration {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make(map[schedule.Worker]time.Duration, len(rt.wOpSeconds))
+	for w, total := range rt.wOpSeconds {
+		if n := rt.wOpCounts[w]; n > 0 {
+			out[w] = total / time.Duration(n)
 		}
 	}
 	return out

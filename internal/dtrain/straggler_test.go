@@ -1,0 +1,175 @@
+package dtrain
+
+import (
+	"testing"
+	"time"
+
+	"recycle/internal/profile"
+	"recycle/internal/schedule"
+	"recycle/internal/sim"
+)
+
+// TestAgreementWithHeterogeneousDurations extends the by-construction
+// agreement check to a cost-model plan: when the Program is solved and
+// stamped with per-(stage, op, worker) durations (here a 3x straggler),
+// the runtime's dep board propagates exactly the stamped spans and the
+// simulator's virtual execution matches instruction for instruction.
+func TestAgreementWithHeterogeneousDurations(t *testing.T) {
+	victim := schedule.Worker{Stage: 1, Pipeline: 0}
+	cfg := Config{
+		DP: 3, PP: 4, MB: 6,
+		InDim: 8, Hidden: 16, OutDim: 4, MicroBatchSize: 5,
+		Seed: 42, LR: 1e-2,
+		CostModel: profile.UniformCost(profile.Unit()).WithWorkerScale(victim, 3),
+	}
+	rt := New(cfg)
+	rt.Fail(schedule.Worker{Stage: 2, Pipeline: 1}) // a hard failure on top of the gray one
+	if _, err := rt.RunIteration(); err != nil {
+		t.Fatal(err)
+	}
+
+	prog, starts, ends := rt.ExecutedTimeline()
+	if prog == nil {
+		t.Fatal("runtime recorded no executed timeline")
+	}
+	// The plan must actually be heterogeneous: some victim op stamped 3x.
+	hetero := false
+	for i := range prog.Instrs {
+		op := prog.Instrs[i].Op
+		if op.Type != schedule.Optimizer && op.Worker() == victim && prog.DurOf(i) == 3*prog.Durations.Of(op.Type) {
+			hetero = true
+			break
+		}
+	}
+	if !hetero {
+		t.Fatal("no instruction on the straggler carries a scaled duration")
+	}
+	ex, err := sim.ExecuteProgram(prog, sim.ProgramOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Completed != len(prog.Instrs) {
+		t.Fatalf("simulator completed %d of %d instructions", ex.Completed, len(prog.Instrs))
+	}
+	for i := range prog.Instrs {
+		if starts[i] != ex.Start[i] || ends[i] != ex.End[i] {
+			t.Fatalf("instruction %d (%s): runtime span [%d,%d] != simulated span [%d,%d]",
+				i, prog.Instrs[i].Op, starts[i], ends[i], ex.Start[i], ex.End[i])
+		}
+	}
+}
+
+// TestDetectorFlagsStragglerAndTriggersReplan drives the full gray-failure
+// loop in-process: per-op timings flow into the detector, the detector
+// flags the slow worker and its callback retunes the runtime's cost model,
+// and the next fetched Program routes work away from the victim.
+func TestDetectorFlagsStragglerAndTriggersReplan(t *testing.T) {
+	cfg := Config{
+		DP: 3, PP: 2, MB: 4,
+		InDim: 6, Hidden: 8, OutDim: 4, MicroBatchSize: 3,
+		Seed: 9, LR: 1e-2,
+	}
+	rt := New(cfg)
+	victim := schedule.Worker{Stage: 0, Pipeline: 1}
+
+	d := NewDetector(time.Minute, nil)
+	d.StraggleFactor = 1.5
+	var flagged []schedule.Worker
+	d.OnStraggle(func(w schedule.Worker, factor float64) {
+		flagged = append(flagged, w)
+		rt.MarkStraggler(w, factor)
+	})
+
+	before, err := rt.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeOps := 0
+	for i := range before.Instrs {
+		if before.Instrs[i].Op.Type != schedule.Optimizer && before.Instrs[i].Op.Worker() == victim {
+			beforeOps++
+		}
+	}
+
+	// Synthetic heartbeat statistics: the victim reports 2x op times.
+	for w := range rt.stages {
+		dur := 10 * time.Millisecond
+		if w == victim {
+			dur = 20 * time.Millisecond
+		}
+		for i := 0; i < 6; i++ {
+			d.ObserveOp(w, schedule.F, dur)
+		}
+	}
+	got := d.DetectStragglers()
+	if len(flagged) != 1 || flagged[0] != victim {
+		t.Fatalf("flagged %v, want exactly [%s]", flagged, victim)
+	}
+	if f := got[victim]; f < 1.9 || f > 2.1 {
+		t.Fatalf("observed factor %.2f, want ~2", f)
+	}
+	// Flagging is once-per-worker until cleared.
+	if d.DetectStragglers(); len(flagged) != 1 {
+		t.Fatalf("straggler re-flagged: %v", flagged)
+	}
+
+	after, err := rt.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterOps := 0
+	for i := range after.Instrs {
+		if after.Instrs[i].Op.Type != schedule.Optimizer && after.Instrs[i].Op.Worker() == victim {
+			afterOps++
+		}
+	}
+	if afterOps >= beforeOps {
+		t.Fatalf("re-plan kept %d ops on the straggler (was %d)", afterOps, beforeOps)
+	}
+	// The training math is untouched: the demoted worker still steps, so
+	// an iteration under the straggler-aware plan must succeed and match
+	// the fault-free loss bitwise.
+	ref := New(cfg)
+	lossRef, err := ref.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossAware, err := rt.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossRef != lossAware {
+		t.Fatalf("aware-plan loss %v != fault-free loss %v", lossAware, lossRef)
+	}
+
+	d.ClearStraggler(victim)
+	if len(d.Stragglers()) != 0 {
+		t.Fatal("ClearStraggler left the worker flagged")
+	}
+}
+
+// TestRuntimeFeedsDetector checks the AttachDetector plumbing: running an
+// iteration populates the detector's per-worker observations.
+func TestRuntimeFeedsDetector(t *testing.T) {
+	cfg := Config{
+		DP: 2, PP: 2, MB: 2,
+		InDim: 4, Hidden: 6, OutDim: 3, MicroBatchSize: 2,
+		Seed: 5, LR: 1e-2,
+	}
+	rt := New(cfg)
+	d := NewDetector(time.Minute, nil)
+	rt.AttachDetector(d)
+	if _, err := rt.RunIteration(); err != nil {
+		t.Fatal(err)
+	}
+	times := rt.MeasuredWorkerTimes()
+	if len(times) != 4 {
+		t.Fatalf("measured times for %d workers, want 4", len(times))
+	}
+	d.mu.Lock()
+	observed := len(d.opN)
+	d.mu.Unlock()
+	if observed != 4 {
+		t.Fatalf("detector observed %d workers, want 4", observed)
+	}
+}

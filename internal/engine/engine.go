@@ -1,24 +1,3 @@
-// Package engine is the plan service: the single entry point every
-// consumer — the live runtime Coordinator (internal/dtrain), the
-// discrete-event simulator (internal/sim), the cmd/ binaries and the
-// examples — uses to obtain adaptive pipeline schedules.
-//
-// It owns the full solve→plan→store→fetch lifecycle of Fig 8:
-//
-//   - PlanAll precomputes the plan for every tolerated failure count
-//     concurrently with a bounded worker pool (each count is an
-//     independent CPU-bound solve);
-//   - every plan round-trips through the quorum-replicated plan store
-//     (internal/planstore, standing in for the paper's etcd) via the
-//     canonical versioned codec (EncodePlan/DecodePlan), so a plan
-//     written by one engine survives replica failures and is readable by
-//     any other engine sharing the store;
-//   - Plan / PlanConcrete are get-or-solve with request coalescing:
-//     concurrent callers asking for the same (job fingerprint,
-//     techniques, failure count) trigger exactly one solve;
-//   - ScheduleFor is the Coordinator's failure-handling fetch path
-//     (§4.1): exact plan from cache/store, then Best(n) fallback, then
-//     on-demand solve on miss.
 package engine
 
 import (
@@ -49,6 +28,10 @@ type Options struct {
 	// Store injects a (possibly shared) replicated plan store. Nil
 	// creates a private 3-replica store, matching a small etcd deployment.
 	Store *planstore.Store
+	// CostModel seeds the heterogeneous cost model (per-(stage, op,
+	// worker) durations). Nil plans with the homogeneous profiled stats.
+	// Straggler observations retune it at runtime via MarkStraggler.
+	CostModel *profile.CostModel
 }
 
 // Metrics is a snapshot of the engine's plan-traffic counters.
@@ -103,6 +86,7 @@ func New(job config.Job, stats profile.Stats, opts Options) *Engine {
 	if opts.Techniques != nil {
 		planner.Techniques = *opts.Techniques
 	}
+	planner.Costs = opts.CostModel
 	if opts.UnrollIterations > 0 {
 		planner.UnrollIterations = opts.UnrollIterations
 	}
@@ -159,6 +143,61 @@ func (e *Engine) snapshot() *core.Planner {
 
 // Job returns the job this engine plans for.
 func (e *Engine) Job() config.Job { return e.planner.Job }
+
+// CostModel returns the current heterogeneous cost model (nil when the
+// engine plans with the homogeneous profiled stats).
+func (e *Engine) CostModel() *profile.CostModel {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.planner.Costs
+}
+
+// SetCostModel installs a cost model. The model is treated as immutable:
+// callers must not mutate it after handing it over (use the copy-on-write
+// With* methods to derive variants). Plans already cached stay addressable
+// under their old fingerprint; subsequent fetches key into the new model's
+// namespace and re-solve on first miss.
+func (e *Engine) SetCostModel(cm *profile.CostModel) {
+	e.mu.Lock()
+	e.planner.Costs = cm
+	e.mu.Unlock()
+}
+
+// MarkStraggler records that a worker runs its ops at the given multiple
+// of the profiled durations (a gray failure, the paper's slow-but-alive
+// discussion) — the re-plan trigger the Detector's straggler callback
+// invokes. The cost model is updated copy-on-write and the plan
+// fingerprint changes with it, so the very next ScheduleFor/ProgramFor
+// re-solves: the solver times the slow worker honestly AND routes
+// micro-batches away from it (demotion, not removal — the worker keeps
+// participating in all-reduce and optimizer steps). factor 1 clears the
+// mark.
+func (e *Engine) MarkStraggler(w schedule.Worker, factor float64) {
+	e.mu.Lock()
+	cm := e.planner.Costs
+	if cm == nil {
+		if factor == 1 {
+			e.mu.Unlock()
+			return // clearing a mark that was never set
+		}
+		cm = profile.UniformCost(e.planner.Stats)
+	}
+	next := cm.WithWorkerScale(w, factor)
+	// A model that carries no information beyond the profiled stats
+	// normalizes back to nil, so clearing the last straggler returns to the
+	// original plan namespace (and its cached plans) instead of a
+	// signature-distinct uniform copy.
+	if len(next.WorkerScale) == 0 && len(next.StageScale) == 0 && next.Base == e.planner.Stats.Durations() {
+		next = nil
+	}
+	e.planner.Costs = next
+	e.mu.Unlock()
+}
+
+// ClearStraggler removes a worker's straggler mark (recovered gray
+// failure); plans revert to the namespace without the mark, typically a
+// cache hit.
+func (e *Engine) ClearStraggler(w schedule.Worker) { e.MarkStraggler(w, 1) }
 
 // Store returns the replicated plan store backing this engine.
 func (e *Engine) Store() *planstore.Store { return e.store }

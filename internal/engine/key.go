@@ -17,19 +17,26 @@ import (
 
 // fingerprintInput is everything that determines a plan besides the
 // failure set: the job geometry, the profiled statistics, the technique
-// toggles and the unroll window. Two engines with equal fingerprints
-// produce interchangeable plans, so the fingerprint namespaces every key
-// in the shared replicated store.
+// toggles, the unroll window and the cost model. Two engines with equal
+// fingerprints produce interchangeable plans, so the fingerprint
+// namespaces every key in the shared replicated store. The cost model
+// enters as its canonical signature string (JSON cannot key maps by
+// struct), which is also what makes a straggler update an automatic
+// re-plan: marking a worker slow changes the signature, every plan key
+// moves to a fresh namespace, and the next fetch misses the cache and
+// re-solves under the new costs.
 type fingerprintInput struct {
 	Job        config.Job
 	Stats      profile.Stats
 	Techniques core.Techniques
 	Unroll     int
+	Costs      string
 }
 
 // Fingerprint derives the deterministic job fingerprint used to key plans.
-func Fingerprint(job config.Job, stats profile.Stats, t core.Techniques, unroll int) string {
-	b, err := json.Marshal(fingerprintInput{Job: job, Stats: stats, Techniques: t, Unroll: unroll})
+// costs is the cost model's Signature ("" for the homogeneous model).
+func Fingerprint(job config.Job, stats profile.Stats, t core.Techniques, unroll int, costs string) string {
+	b, err := json.Marshal(fingerprintInput{Job: job, Stats: stats, Techniques: t, Unroll: unroll, Costs: costs})
 	if err != nil {
 		// The input is plain data; Marshal cannot fail. Guard anyway so a
 		// future non-marshalable field degrades to a shared namespace
@@ -41,10 +48,10 @@ func Fingerprint(job config.Job, stats profile.Stats, t core.Techniques, unroll 
 }
 
 // fpCache memoizes fingerprints per engine. A planner's Job and Stats are
-// immutable for the engine's lifetime; only the technique toggles and the
-// unroll window can be retuned, so they key the memo. The fetch paths run
-// once per runtime iteration — without the memo every fetch re-marshals
-// the full Job+Stats to JSON and hashes it.
+// immutable for the engine's lifetime; only the technique toggles, the
+// unroll window and the cost model can be retuned, so they key the memo.
+// The fetch paths run once per runtime iteration — without the memo every
+// fetch re-marshals the full Job+Stats to JSON and hashes it.
 type fpCache struct {
 	mu sync.Mutex
 	m  map[fpKey]string
@@ -53,14 +60,16 @@ type fpCache struct {
 type fpKey struct {
 	t      core.Techniques
 	unroll int
+	costs  string
 }
 
 // of returns the planner configuration's fingerprint, computing it at most
-// once per (techniques, unroll) pair. Retuning on a live planner — the
-// Fig 11 ablation does — still transparently addresses a different key
-// namespace instead of poisoning the cache.
+// once per (techniques, unroll, cost signature) triple. Retuning on a live
+// planner — the Fig 11 ablation, a straggler update — still transparently
+// addresses a different key namespace instead of poisoning the cache.
 func (c *fpCache) of(p *core.Planner) string {
-	k := fpKey{t: p.Techniques, unroll: p.UnrollIterations}
+	costs := p.Costs.Signature()
+	k := fpKey{t: p.Techniques, unroll: p.UnrollIterations, costs: costs}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if fp, ok := c.m[k]; ok {
@@ -69,7 +78,7 @@ func (c *fpCache) of(p *core.Planner) string {
 	if c.m == nil {
 		c.m = make(map[fpKey]string)
 	}
-	fp := Fingerprint(p.Job, p.Stats, p.Techniques, p.UnrollIterations)
+	fp := Fingerprint(p.Job, p.Stats, p.Techniques, p.UnrollIterations, costs)
 	c.m[k] = fp
 	return fp
 }

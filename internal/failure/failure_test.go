@@ -114,6 +114,51 @@ func TestAtMatchesLinearScan(t *testing.T) {
 	}
 }
 
+// TestAtBoundaries pins the binary search at its edges: an event exactly
+// at the query time must already be in effect (the step interval is
+// closed on the left, [At, next.At)), and degenerate traces must degrade
+// to the full fleet rather than panic or misindex.
+func TestAtBoundaries(t *testing.T) {
+	tr := Trace{Name: "b", Total: 8, Steps: []Step{
+		{0, 8}, {10 * time.Minute, 6}, {25 * time.Minute, 7},
+	}}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly at an event: the new availability applies at that instant.
+	if got := tr.At(10 * time.Minute); got != 6 {
+		t.Fatalf("At(event instant) = %d, want 6 (step must be inclusive)", got)
+	}
+	if got := tr.At(25 * time.Minute); got != 7 {
+		t.Fatalf("At(re-join instant) = %d, want 7", got)
+	}
+	// One tick either side of an event.
+	if got := tr.At(10*time.Minute - time.Nanosecond); got != 8 {
+		t.Fatalf("At(just before event) = %d, want 8", got)
+	}
+	if got := tr.At(10*time.Minute + time.Nanosecond); got != 6 {
+		t.Fatalf("At(just after event) = %d, want 6", got)
+	}
+	// Exactly at t=0 (the first step's own boundary).
+	if got := tr.At(0); got != 8 {
+		t.Fatalf("At(0) = %d, want 8", got)
+	}
+	// Past the last event the final availability persists.
+	if got := tr.At(48 * time.Hour); got != 7 {
+		t.Fatalf("At(past horizon) = %d, want 7", got)
+	}
+	// An empty trace (no steps recorded) reports the planned fleet size:
+	// sort.Search returns 0 on an empty slice and the i == 0 branch must
+	// not index Steps[-1].
+	empty := Trace{Name: "empty", Total: 5}
+	if got := empty.At(0); got != 5 {
+		t.Fatalf("empty trace At(0) = %d, want Total (5)", got)
+	}
+	if got := empty.At(time.Hour); got != 5 {
+		t.Fatalf("empty trace At(1h) = %d, want Total (5)", got)
+	}
+}
+
 // BenchmarkTraceAt guards the O(log steps) lookup: a dense 6h Poisson
 // trace probed across the horizon. The former linear scan walked half the
 // step list per query on average; regressions reintroducing it show up as

@@ -1,15 +1,3 @@
-// Package profile implements ReCycle's Profiler (Fig 8): it derives the
-// per-operation statistics the Planner consumes — forward / backward-input
-// / backward-weight / optimizer latencies, communication latency, and
-// per-stage memory budgets.
-//
-// Two sources are supported:
-//
-//   - Analytic (the default in this reproduction): the transformer cost
-//     model in internal/model evaluated on a hardware preset, standing in
-//     for the paper's 100-iteration profiling job on real GPUs.
-//   - Measured: timing callbacks from the live runtime (internal/dtrain),
-//     used by the Table 2 sim-fidelity experiment.
 package profile
 
 import (

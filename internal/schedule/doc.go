@@ -1,0 +1,28 @@
+// Package schedule defines ReCycle's two intermediate representations and
+// the lowering between them.
+//
+// The schedule IR is the 5-tuple operation set of the paper's MILP
+// formulation (§4.2.2) — (stage, micro-batch, home pipeline, phase,
+// executing pipeline) plus an iteration index — placed into fully timed
+// per-worker timetables. Validate checks a timed schedule against the
+// MILP's constraint set (cross-stage dependencies, same-stage
+// dependencies, no-overlap, memory caps), optionally under a
+// heterogeneous per-(worker, op) cost function (CostFunc).
+//
+// The Program IR is the executable form: Compile lowers a timed schedule
+// into per-worker instruction streams with explicit dependency edges —
+// cross-stage activation/gradient sends, same-worker data dependencies,
+// per-stage all-reduce barriers — and stamps each instruction with the
+// modeled duration the solver optimized against (Instr.Dur, read through
+// Program.DurOf). Both executors consume this one artifact: the live
+// runtime (internal/dtrain) interprets it with real tensors and
+// goroutines, the discrete-event simulator (internal/sim) executes it in
+// virtual time. Op ordering and op durations are decided here, once, and
+// nowhere else, which is what makes the two executions agree by
+// construction. Program.Validate proves every compiled artifact
+// deadlock-free and edge-consistent.
+//
+// The package also provides the closed-form fault-free 1F1B schedule
+// (FaultFree1F1B), the canonical 1F1B instruction order, and an ASCII
+// Gantt renderer.
+package schedule

@@ -1,11 +1,9 @@
-// Package schedule defines ReCycle's pipeline-schedule intermediate
-// representation: the 5-tuple operations of the paper's MILP formulation
-// (§4.2.2), the per-worker timetable they are placed into, the closed-form
-// fault-free 1F1B schedule, and validation of the MILP's constraint set
-// (cross-stage dependencies, same-stage dependencies, no-overlap, memory).
 package schedule
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // OpType is the computation phase c of an operation. The paper uses
 // c ∈ {F, B_input, B_weight}; we add the coupled backward (B) used when
@@ -87,6 +85,20 @@ type Worker struct {
 // String renders the worker in the paper's notation.
 func (w Worker) String() string { return fmt.Sprintf("W%d_%d", w.Pipeline, w.Stage) }
 
+// SortWorkers orders workers canonically by (stage, pipeline) — the one
+// ordering used for concrete plans, plan-store keys, wire encoding,
+// failed-set comparison and cost-model signatures. It lives next to the
+// Worker type so every layer (core, profile, dtrain) shares one
+// definition.
+func SortWorkers(ws []Worker) {
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Stage != ws[j].Stage {
+			return ws[i].Stage < ws[j].Stage
+		}
+		return ws[i].Pipeline < ws[j].Pipeline
+	})
+}
+
 // Durations holds integer op durations in abstract time slots. The paper's
 // figures use TF = 1, TB = 2 (split 1+1 when decoupled); the simulator maps
 // profiled seconds onto these integers at microsecond resolution.
@@ -100,6 +112,14 @@ type Durations struct {
 
 // UnitSlots is the slot model the paper's figures are drawn with.
 var UnitSlots = Durations{F: 1, BInput: 1, BWeight: 1, Opt: 1, Comm: 0}
+
+// CostFunc gives per-(worker, op) durations — the heterogeneous
+// generalization of Durations that a cost model (internal/profile)
+// provides to the solver. A nil CostFunc means "use the homogeneous
+// Durations", and a CostFunc that returns Durations.Of for every worker is
+// guaranteed (and property-tested) to reproduce the homogeneous schedules
+// bit-for-bit.
+type CostFunc func(w Worker, t OpType) int64
 
 // Of returns the duration of an op of type t. A coupled B costs
 // BInput+BWeight.

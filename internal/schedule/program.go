@@ -58,6 +58,15 @@ type Instr struct {
 	ID   int
 	Op   Op
 	Deps []Dep
+	// Dur is the modeled duration of this instruction, stamped by Compile
+	// from the schedule's placement span (End - Start). Under a
+	// heterogeneous cost model this is the per-(stage, op, worker) number
+	// the solver optimized against; both executors read it through
+	// Program.DurOf, so the runtime's dep board and the discrete-event
+	// simulator consume exactly the durations the plan was solved with.
+	// Zero means "not stamped" (hand-assembled programs) and falls back to
+	// the homogeneous Durations.
+	Dur int64
 }
 
 // Program is the executable form of a Schedule: per-worker instruction
@@ -121,6 +130,18 @@ func (d Durations) EdgeLatency(k DepKind) int64 {
 // the program's own durations.
 func (p *Program) EdgeLatency(k DepKind) int64 { return p.Durations.EdgeLatency(k) }
 
+// DurOf returns the modeled duration of instruction id: the stamped
+// per-instruction duration when the program was compiled from a timed
+// schedule, falling back to the homogeneous per-op-type Durations for
+// hand-assembled programs. This is the single duration rule shared by the
+// live runtime's dep board and the discrete-event simulator.
+func (p *Program) DurOf(id int) int64 {
+	if d := p.Instrs[id].Dur; d > 0 {
+		return d
+	}
+	return p.Durations.Of(p.Instrs[id].Op.Type)
+}
+
 // opKey identifies a compute op independently of where it executes.
 type opKey struct {
 	iter, stage, mb, home int
@@ -153,7 +174,7 @@ func Compile(s *Schedule) (*Program, error) {
 	optAt := make(map[[3]int]int)       // (iter, stage, exec) -> Optimizer id
 	bwByStage := make(map[[2]int][]int) // (iter, stage) -> BWeight/B ids
 	for i, pl := range s.Placements {
-		p.Instrs[i] = Instr{ID: i, Op: pl.Op}
+		p.Instrs[i] = Instr{ID: i, Op: pl.Op, Dur: pl.End - pl.Start}
 		w := pl.Op.Worker()
 		p.Streams[w] = append(p.Streams[w], i)
 		k := opKey{pl.Op.Iter, pl.Op.Stage, pl.Op.MB, pl.Op.Home}

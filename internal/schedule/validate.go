@@ -16,6 +16,10 @@ type ValidateConfig struct {
 	// are allowed when the planner applies Decoupled BackProp selectively;
 	// validation accepts either form per micro-batch regardless.
 	Decoupled bool
+	// Costs gives the expected per-(worker, op) durations for schedules
+	// solved under a heterogeneous cost model. Nil means every op must
+	// take the schedule's homogeneous Durations.
+	Costs CostFunc
 }
 
 // Validate checks a schedule against the MILP constraint set of §4.2.2:
@@ -41,7 +45,11 @@ func Validate(s *Schedule, cfg ValidateConfig) error {
 		if s.Failed[p.Op.Worker()] {
 			return fmt.Errorf("schedule: op %s placed on failed worker", p.Op)
 		}
-		if got, want := p.End-p.Start, s.Durations.Of(p.Op.Type); got != want {
+		want := s.Durations.Of(p.Op.Type)
+		if cfg.Costs != nil {
+			want = cfg.Costs(p.Op.Worker(), p.Op.Type)
+		}
+		if got := p.End - p.Start; got != want {
 			return fmt.Errorf("schedule: op %s has duration %d, want %d", p.Op, got, want)
 		}
 		if p.Op.Type == Optimizer {

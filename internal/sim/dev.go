@@ -12,10 +12,11 @@ import (
 // Program — the scenario knobs the steady-state Throughput(failed) model
 // cannot express.
 type ProgramOptions struct {
-	// Durations overrides the program's per-op-type durations (nil keeps
-	// the durations the schedule was solved with). The Table 2 experiment
-	// uses this to execute a unit-slot program under profiled kernel
-	// latencies.
+	// Durations overrides the program's durations with a homogeneous
+	// per-op-type set (nil keeps the durations the schedule was solved
+	// with, including any per-instruction durations Compile stamped from a
+	// heterogeneous cost model). The Table 2 experiment uses this to
+	// execute a unit-slot program under profiled kernel latencies.
 	Durations *schedule.Durations
 	// Scale multiplies every op duration on a worker — stragglers (>1) or
 	// fast spares (<1). Workers absent from the map run at 1x.
@@ -66,8 +67,13 @@ func ExecuteProgram(p *schedule.Program, opt ProgramOptions) (*Execution, error)
 	if opt.Durations != nil {
 		durs = *opt.Durations
 	}
-	durOf := func(w schedule.Worker, op schedule.Op) int64 {
-		d := durs.Of(op.Type)
+	durOf := func(w schedule.Worker, id int, op schedule.Op) int64 {
+		var d int64
+		if opt.Durations != nil {
+			d = durs.Of(op.Type)
+		} else {
+			d = p.DurOf(id) // stamped (cost-model) duration, or the program's own homogeneous set
+		}
 		if opt.OpDuration != nil {
 			d = opt.OpDuration(op, d)
 		}
@@ -122,7 +128,7 @@ func ExecuteProgram(p *schedule.Program, opt ProgramOptions) (*Execution, error)
 				if ready > start {
 					start = ready
 				}
-				end := start + durOf(w, ins.Op)
+				end := start + durOf(w, id, ins.Op)
 				if failAt, failing := opt.FailAt[w]; failing && end > failAt {
 					// The op would still be in flight when the worker dies:
 					// it and everything after it on this worker is lost.

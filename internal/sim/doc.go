@@ -1,0 +1,27 @@
+// Package sim is the training simulator of §6.3, with two backends at two
+// levels of abstraction.
+//
+// The trace-replay backend (Run) replays an availability trace against a
+// fault-tolerant training system model (System) and reports instantaneous
+// and average throughput, charging each system its own reconfiguration
+// stalls at failure and re-join events — the Fig 9 experiments. ReCycle
+// itself participates through the plan service adapter (ReCycle), whose
+// steady-state throughput comes from precomputed adaptive plans.
+//
+// The discrete-event backend (ExecuteProgram) drops below steady-state
+// scalars to the op level: it executes a compiled schedule.Program — the
+// same artifact the live runtime interprets — in virtual time, each
+// instruction starting as soon as its worker is free and its dependency
+// edges are satisfied. Durations default to the per-instruction values
+// Compile stamped from the Planner's cost model, and can be overridden
+// homogeneously (ProgramOptions.Durations), per worker
+// (ProgramOptions.Scale, straggler injection) or per op
+// (ProgramOptions.OpDuration); mid-iteration failures are injected with
+// FailAt, reporting lost and blocked instruction sets.
+//
+// The paper validates this style of simulator against its real 32-GPU
+// cluster within 5.98% (Table 2); here the simulator is the primary
+// experimental substrate, and internal/dtrain's live runtime provides the
+// corresponding fidelity check — exact, by construction, because both
+// executors walk the same Program.
+package sim

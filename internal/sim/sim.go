@@ -1,12 +1,3 @@
-// Package sim is the discrete-event training simulator of §6.3: it replays
-// an availability trace against a fault-tolerant training system model and
-// reports instantaneous and average training throughput, charging each
-// system its own reconfiguration stalls at failure and re-join events.
-//
-// The paper validates this style of simulator against its real 32-GPU
-// cluster within 5.98% (Table 2); here the simulator is the primary
-// experimental substrate, and internal/dtrain's live runtime provides the
-// corresponding fidelity check.
 package sim
 
 import (

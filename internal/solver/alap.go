@@ -75,7 +75,7 @@ func (s *state) applyALAP(ref *schedule.Schedule, tie int64) {
 		id := queue[0]
 		queue = queue[1:]
 		t := &s.tasks[id]
-		start := alap[id] - d.Of(t.op.Type)
+		start := alap[id] - t.dur
 		for _, pr := range preds[id] {
 			if f := start - pr.comm; f < alap[pr.id] {
 				alap[pr.id] = f
@@ -90,7 +90,7 @@ func (s *state) applyALAP(ref *schedule.Schedule, tie int64) {
 	// (iteration, ALAP start, skeleton position).
 	for id := range s.tasks {
 		t := &s.tasks[id]
-		t.alap = alap[id] - d.Of(t.op.Type)
+		t.alap = alap[id] - t.dur
 	}
 	_ = tie
 	_ = schedule.F // silence unused import if the build changes

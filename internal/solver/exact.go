@@ -39,7 +39,7 @@ func ExactMakespan(in Input, maxNodes int64) (ExactResult, error) {
 	if in.Shape.Iter != 1 {
 		return ExactResult{}, fmt.Errorf("solver: exact search supports single-iteration shapes only")
 	}
-	routes, err := RouteMicroBatches(in.Shape, in.Failed)
+	routes, err := routeForInput(in)
 	if err != nil {
 		return ExactResult{}, err
 	}
@@ -62,7 +62,7 @@ func ExactMakespan(in Input, maxNodes int64) (ExactResult, error) {
 	for i, id := range ids {
 		t := &st.tasks[id]
 		nd := exNode{
-			dur:   in.Durations.Of(t.op.Type),
+			dur:   t.dur,
 			wi:    st.widx[t.worker],
 			isF:   t.op.Type == schedule.F,
 			frees: t.op.Type == schedule.B || t.op.Type == schedule.BWeight,

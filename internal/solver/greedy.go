@@ -61,6 +61,7 @@ func newState(in Input, routes [][][]int) *state {
 	}
 
 	addTask := func(t task) taskID {
+		t.dur = in.dur(t.worker, t.op.Type)
 		id := taskID(len(s.tasks))
 		s.tasks = append(s.tasks, t)
 		return id
@@ -356,7 +357,7 @@ func (s *state) dispatch(wi int, t int64) bool {
 	}
 	if len(w.bwPool) > 0 {
 		id := w.bwPool[0]
-		if minFuture == math.MaxInt64 || minFuture-t >= s.in.Durations.BWeight || s.memPressure(w) {
+		if minFuture == math.MaxInt64 || minFuture-t >= s.tasks[id].dur || s.memPressure(w) {
 			w.bwPool = w.bwPool[1:]
 			s.place(wi, id, t)
 			return true
@@ -437,7 +438,7 @@ func (s *state) placeAt(id taskID, start int64) {
 	if c.placed {
 		panic("solver: task placed twice")
 	}
-	dur := s.in.Durations.Of(c.op.Type)
+	dur := c.dur
 	c.placed = true
 	c.start = start
 	c.end = start + dur

@@ -31,6 +31,15 @@ import (
 type Input struct {
 	Shape     schedule.Shape
 	Durations schedule.Durations
+	// Costs, when non-nil, gives per-(stage, op, worker) durations from the
+	// cost model (internal/profile): stragglers, uneven stage splits. The
+	// solver then both times every task with its executor's real duration
+	// and routes micro-batches away from slow workers (gray-failure
+	// handling). Durations remains the homogeneous base — it still supplies
+	// Comm and the fault-free reference skeleton used for priorities. A nil
+	// Costs (or one that equals Durations everywhere) reproduces the
+	// homogeneous schedules bit-for-bit.
+	Costs schedule.CostFunc
 	// Failed is the set of failed workers to route around.
 	Failed map[schedule.Worker]bool
 	// MemCap is the per-worker in-flight activation cap in units (the
@@ -57,12 +66,21 @@ type Input struct {
 // the caller must fall back to checkpoint restoration (§3.4, Fig 7a).
 var ErrStageDead = fmt.Errorf("solver: a pipeline stage has no live data-parallel peer")
 
+// dur resolves the duration of one op on one worker: the cost model when
+// present, the homogeneous Durations otherwise.
+func (in Input) dur(w schedule.Worker, t schedule.OpType) int64 {
+	if in.Costs != nil {
+		return in.Costs(w, t)
+	}
+	return in.Durations.Of(t)
+}
+
 // Solve produces an adaptive schedule for the input.
 func Solve(in Input) (*schedule.Schedule, error) {
 	if err := in.Shape.Validate(); err != nil {
 		return nil, err
 	}
-	routes, err := RouteMicroBatches(in.Shape, in.Failed)
+	routes, err := routeForInput(in)
 	if err != nil {
 		return nil, err
 	}
@@ -71,6 +89,16 @@ func Solve(in Input) (*schedule.Schedule, error) {
 		return nil, err
 	}
 	return schedule.New(in.Shape, in.Durations, in.Failed, st.placements), nil
+}
+
+// routeForInput picks the routing strategy: plain round-robin over live
+// peers when the costs are homogeneous, load-balanced routing around slow
+// workers otherwise.
+func routeForInput(in Input) ([][][]int, error) {
+	if in.Costs == nil {
+		return RouteMicroBatches(in.Shape, in.Failed)
+	}
+	return RouteMicroBatchesCost(in.Shape, in.Failed, in.Costs)
 }
 
 // RouteMicroBatches computes the exec pipeline for every (stage, home
@@ -109,12 +137,108 @@ func RouteMicroBatches(shape schedule.Shape, failed map[schedule.Worker]bool) ([
 	return routes, nil
 }
 
+// RouteMicroBatchesCost computes the exec pipeline for every (stage, home
+// pipeline, micro-batch) under a heterogeneous cost model — the
+// gray-failure generalization of RouteMicroBatches. Dead workers are
+// routed around as before; slow-but-alive workers are demoted: their
+// micro-batches (and those of failed homes) are placed by a greedy
+// least-finish-time rule over per-worker compute costs, so a 2× straggler
+// keeps only the share of work it can finish in step with its peers
+// instead of dragging the whole pipeline. Stages whose live workers all
+// run at the same cost reproduce the round-robin routing exactly, so a
+// uniform cost model changes nothing.
+func RouteMicroBatchesCost(shape schedule.Shape, failed map[schedule.Worker]bool, costs schedule.CostFunc) ([][][]int, error) {
+	routes := make([][][]int, shape.PP)
+	for i := 0; i < shape.PP; i++ {
+		var alive []int
+		for k := 0; k < shape.DP; k++ {
+			if !failed[schedule.Worker{Stage: i, Pipeline: k}] {
+				alive = append(alive, k)
+			}
+		}
+		if len(alive) == 0 {
+			return nil, fmt.Errorf("%w: stage %d", ErrStageDead, i)
+		}
+		// Per-micro-batch compute cost on each live worker of the stage.
+		cost := make([]int64, shape.DP)
+		minCost := int64(1) << 62
+		flat := true
+		for _, k := range alive {
+			w := schedule.Worker{Stage: i, Pipeline: k}
+			cost[k] = costs(w, schedule.F) + costs(w, schedule.BInput) + costs(w, schedule.BWeight)
+			if cost[k] != cost[alive[0]] {
+				flat = false
+			}
+			if cost[k] < minCost {
+				minCost = cost[k]
+			}
+		}
+		routes[i] = make([][]int, shape.DP)
+		if flat {
+			// Homogeneous stage: identical to RouteMicroBatches.
+			for k := 0; k < shape.DP; k++ {
+				routes[i][k] = make([]int, shape.MB)
+				if !failed[schedule.Worker{Stage: i, Pipeline: k}] {
+					for j := range routes[i][k] {
+						routes[i][k][j] = k
+					}
+					continue
+				}
+				for j := range routes[i][k] {
+					routes[i][k][j] = alive[(j+k)%len(alive)]
+				}
+			}
+			continue
+		}
+		// Heterogeneous stage: workers at the stage minimum keep their own
+		// micro-batches; everything else — work of failed homes and of
+		// demoted (slower-than-minimum) homes — is placed greedily on the
+		// worker with the earliest projected finish, home winning ties.
+		load := make([]int64, shape.DP)
+		type mbRef struct{ home, mb int }
+		var pending []mbRef
+		for k := 0; k < shape.DP; k++ {
+			routes[i][k] = make([]int, shape.MB)
+			w := schedule.Worker{Stage: i, Pipeline: k}
+			if !failed[w] && cost[k] == minCost {
+				for j := range routes[i][k] {
+					routes[i][k][j] = k
+				}
+				load[k] += cost[k] * int64(shape.MB)
+				continue
+			}
+			for j := 0; j < shape.MB; j++ {
+				pending = append(pending, mbRef{home: k, mb: j})
+			}
+		}
+		for _, pj := range pending {
+			home, j := pj.home, pj.mb
+			best, bestFinish := -1, int64(1)<<62
+			for _, k := range alive {
+				finish := load[k] + cost[k]
+				better := finish < bestFinish
+				if finish == bestFinish && best >= 0 {
+					// Ties: prefer the home worker, then the lower pipeline id.
+					better = k == home && best != home
+				}
+				if better {
+					best, bestFinish = k, finish
+				}
+			}
+			routes[i][home][j] = best
+			load[best] += cost[best]
+		}
+	}
+	return routes, nil
+}
+
 // taskID indexes into state.tasks.
 type taskID int32
 
 type task struct {
 	op       schedule.Op
 	worker   schedule.Worker
+	dur      int64 // modeled duration on this task's executor (cost model)
 	pos      int64 // skeleton priority (fault-free 1F1B position)
 	alap     int64 // latest start that meets the stage deadline
 	release  int64 // earliest allowed start (fault-free pacing of unaffected work)

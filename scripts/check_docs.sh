@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# check_docs.sh — docs-consistency gate: fail when README.md or
+# ARCHITECTURE.md reference a package directory that no longer exists, or
+# when the README flag reference and the cmd/ binaries disagree (a flag
+# documented but not defined, or defined but not documented).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+fail=0
+
+# 1. Every internal/..., cmd/..., examples/... path mentioned in the docs
+#    must be a real directory.
+for doc in README.md ARCHITECTURE.md; do
+  for pkg in $(grep -oE '(internal|cmd|examples)/[a-z0-9_-]+' "$doc" | sort -u); do
+    if [ ! -d "$pkg" ]; then
+      echo "$doc references missing package directory: $pkg"
+      fail=1
+    fi
+  done
+done
+
+# 2. Every flag documented in README's reference tables (between the
+#    flags:begin/end markers) must be defined by some cmd binary.
+flags=$(awk '/<!-- flags:begin -->/,/<!-- flags:end -->/' README.md |
+  sed -nE 's/^\| `-([a-z0-9-]+)`.*/\1/p' | sort -u)
+if [ -z "$flags" ]; then
+  echo "no flags found between flags:begin/end markers in README.md"
+  fail=1
+fi
+for f in $flags; do
+  if ! grep -qrE "flag\.[A-Za-z0-9]+\(\"$f\"" cmd/; then
+    echo "README documents flag -$f but no cmd binary defines it"
+    fail=1
+  fi
+done
+
+# 3. Conversely, every flag a cmd binary defines must be documented.
+defined=$(grep -hroE 'flag\.[A-Za-z0-9]+\("[a-z0-9-]+"' cmd/ |
+  sed -E 's/.*\("([a-z0-9-]+)"/\1/' | sort -u)
+for f in $defined; do
+  if ! printf '%s\n' $flags | grep -qx "$f"; then
+    echo "cmd binary defines flag -$f but README does not document it"
+    fail=1
+  fi
+done
+
+# 4. The README must link the architecture document.
+if ! grep -q 'ARCHITECTURE.md' README.md; then
+  echo "README.md does not link ARCHITECTURE.md"
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs check OK: $(printf '%s\n' $flags | wc -l | tr -d ' ') flags documented, all package references resolve"
+fi
+exit $fail
