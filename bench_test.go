@@ -143,23 +143,26 @@ func BenchmarkStragglerReplanGain(b *testing.B) {
 	}
 }
 
-// BenchmarkFig9TraceReplay regenerates Figure 9 (GCP trace replay).
+// BenchmarkFig9TraceReplay regenerates Figure 9: ReCycle replayed at op
+// granularity through internal/replay, baselines under their scalar
+// models.
 func BenchmarkFig9TraceReplay(b *testing.B) {
-	var res []experiments.Fig9Result
+	var res []experiments.Figure9Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, _, err = experiments.Fig9()
+		res, _, err = experiments.Figure9()
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
 	for _, r := range res {
-		if o := r.Averages["Oobleck"]; o > 0 {
-			b.ReportMetric(r.Averages["ReCycle"]/o, "x-oobleck-"+shortName(r.Model))
+		if o := r.Baselines["Oobleck"]; o > 0 {
+			b.ReportMetric(r.Replay.Average/o, "x-oobleck-"+shortName(r.Model))
 		}
-		if bb := r.Averages["Bamboo"]; bb > 0 {
-			b.ReportMetric(r.Averages["ReCycle"]/bb, "x-bamboo-"+shortName(r.Model))
+		if bb := r.Baselines["Bamboo"]; bb > 0 {
+			b.ReportMetric(r.Replay.Average/bb, "x-bamboo-"+shortName(r.Model))
 		}
+		b.ReportMetric(r.Replay.StallSeconds, "emergent-stall-s-"+shortName(r.Model))
 	}
 }
 

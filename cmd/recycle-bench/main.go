@@ -14,13 +14,16 @@ import (
 	"recycle/internal/experiments"
 )
 
-// report is the machine-readable shape of one full evaluation run.
+// report is the machine-readable shape of one full evaluation run. The
+// Fig9 section carries the op-granularity replay: per-model throughput
+// plus the full splice event log (lost work, re-planned ops, emergent
+// stalls) alongside the baselines' scalar averages.
 type report struct {
 	Gallery   experiments.GallerySlots
 	Table1    []experiments.Table1Row
 	Table2    []experiments.Table2Row
 	Straggler []experiments.StragglerRow
-	Fig9      []experiments.Fig9Result
+	Fig9      []experiments.Figure9Result
 	Fig10     []experiments.Fig10Row
 	Fig11     []experiments.Fig11Row
 	Fig12     []experiments.Fig12Row
@@ -61,7 +64,7 @@ func main() {
 	check(err)
 	emit(t)
 
-	rep.Fig9, t, err = experiments.Fig9()
+	rep.Fig9, t, err = experiments.Figure9()
 	check(err)
 	emit(t)
 

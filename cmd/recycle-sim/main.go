@@ -24,6 +24,7 @@ import (
 	"recycle/internal/experiments"
 	"recycle/internal/failure"
 	"recycle/internal/profile"
+	"recycle/internal/replay"
 	"recycle/internal/schedule"
 	"recycle/internal/sim"
 )
@@ -38,6 +39,8 @@ func main() {
 	des := flag.Int("des", -1, "execute the compiled Program for this failure count op-by-op in virtual time instead of replaying a trace")
 	straggle := flag.Float64("straggle", 1, "with -des: duration multiplier applied to worker W0_0 (straggler injection)")
 	aware := flag.Bool("aware", true, "with -des and -straggle != 1: also solve a straggler-aware plan (cost model carries the slowdown) and compare makespans")
+	replayMode := flag.Bool("replay", false, "drive the trace through op-granularity chained Program executions (internal/replay): mid-iteration failures and re-joins splice the in-flight Program, stalls emerge from lost instructions")
+	events := flag.Bool("events", false, "with -replay: print the per-event splice log")
 	flag.Parse()
 
 	jobs := map[string]config.Job{
@@ -58,6 +61,13 @@ func main() {
 	rc := sim.NewReCycle(job, stats)
 	if *des >= 0 {
 		if err := desTimeline(rc, job, stats, *des, *straggle, *aware); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *replayMode {
+		if err := opReplay(job, *model, *gcp, *freq, *horizon, *events); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -116,6 +126,55 @@ func main() {
 	m := rc.PlanMetrics()
 	fmt.Printf("plan service: %d solves, %d cache hits, %d store hits, %d Best(n) hits\n",
 		m.Solves, m.CacheHits, m.StoreHits, m.BestHits)
+}
+
+// opReplay drives the selected trace through internal/replay: chained
+// compiled-Program executions, one per membership state, with
+// mid-iteration failures and re-joins spliced into the in-flight Program.
+// The GCP trace is sized for 24 workers, so -gcp selects the Fig 9
+// 24-worker variant of the model; monotonic traces replay the Table 1
+// 32-worker shape.
+func opReplay(job config.Job, model string, gcp bool, freq, horizon time.Duration, events bool) error {
+	var tr failure.Trace
+	if gcp {
+		switch model {
+		case "medium":
+			job = experiments.Figure9Jobs()[0]
+		case "6.7b":
+			job = experiments.Figure9Jobs()[1]
+		default:
+			return fmt.Errorf("-replay -gcp needs a 24-worker Fig 9 preset (medium | 6.7b), not %q", model)
+		}
+		tr = failure.GCP()
+	} else {
+		tr = failure.Monotonic(job.Parallel.Workers(), freq, horizon)
+	}
+	eng, stats, err := experiments.Figure9Engine(job)
+	if err != nil {
+		return err
+	}
+	opts := experiments.Figure9Options(job, stats)
+	opts.Horizon = horizon
+	res, err := replay.Replay(eng, tr, opts)
+	if err != nil {
+		return err
+	}
+	if cm := eng.CostModel(); cm != nil {
+		fmt.Printf("calibrated stage scales: %s\n", cm.Signature())
+	}
+	fmt.Printf("op-granularity replay of %s on %s over %s:\n", tr.Name, job.Model.Name, horizon)
+	fmt.Printf("  %d iterations, %.0f samples, avg %.2f samples/s\n", res.Iterations, res.Samples, res.Average)
+	fmt.Printf("  %d membership events (%d spliced mid-iteration)\n", len(res.Events), res.SplicedCount())
+	fmt.Printf("  emergent stall %.1fs, %d slots of completed work re-executed\n", res.StallSeconds, res.LostSlots)
+	if events {
+		fmt.Printf("\n%10s %6s %8s %9s %8s %10s %9s %8s\n",
+			"at", "kind", "workers", "replanned", "rerouted", "lost-slots", "stall", "spliced")
+		for _, ev := range res.Events {
+			fmt.Printf("%10s %6s %8v %9d %8d %10d %8.1fs %8v\n",
+				ev.At.Round(time.Second), ev.Kind, ev.Workers, ev.ReplannedOps, ev.ReroutedOps, ev.LostSlots, ev.StallSeconds, ev.ResumedMidIteration)
+		}
+	}
+	return nil
 }
 
 // desTimeline compiles the plan for n failures into a Program and executes

@@ -1,15 +1,17 @@
 // Trace replay: the Fig 9 dynamic-availability experiment, end to end
-// through the plan service.
+// through the plan service — at op granularity.
 //
 // Replays the GCP-derived availability trace (24 workers dipping to 15
-// with frequent removals and re-joins over six hours) against ReCycle,
-// Oobleck and Bamboo on the GPT-3 Medium job, printing the availability
-// curve, per-interval throughput, and the average each system sustains.
-// Before the replay starts, the offline phase of Fig 8 precomputes every
-// tolerated plan concurrently into the replicated store, so each failure
-// event during the trace is served from precomputed state — the plan
-// service's traffic counters printed at the end prove no solve happened
-// on the replay's critical path.
+// with frequent removals and re-joins over six hours) on the GPT-3 Medium
+// job. ReCycle is driven by internal/replay: the whole trace becomes a
+// chain of compiled-Program executions, and every availability change
+// that lands inside an iteration splices the in-flight Program — the
+// executed prefix is kept, the suffix is re-planned against the new
+// worker set, and the iteration resumes without waiting for the boundary.
+// Stalls therefore emerge from lost and re-planned instructions; nothing
+// is charged by formula. Oobleck and Bamboo remain scalar system models
+// for comparison. The plan service's traffic counters printed at the end
+// show how many schedules the replay actually solved versus re-used.
 package main
 
 import (
@@ -19,40 +21,18 @@ import (
 	"time"
 
 	"recycle/internal/baselines"
-	"recycle/internal/config"
+	"recycle/internal/experiments"
 	"recycle/internal/failure"
 	"recycle/internal/profile"
+	"recycle/internal/replay"
 	"recycle/internal/sim"
 )
 
 func main() {
 	horizon := 6 * time.Hour
 	tr := failure.GCP()
-	job := config.Job{
-		Model:    config.GPT3Medium,
-		Parallel: config.Parallelism{DP: 12, PP: 2, TP: 1},
-		Batch:    config.Batch{GlobalBatch: 8160, MicroBatch: 8},
-		Hardware: config.A100x1,
-	}
+	job := experiments.Figure9Jobs()[0] // GPT-3 Medium, 24 workers (PP=2, DP=12)
 	stats, err := profile.Analytic(job)
-	if err != nil {
-		log.Fatal(err)
-	}
-	rc := sim.NewReCycle(job, stats)
-	// Offline phase: one plan per tolerated failure count, solved
-	// concurrently and replicated, before any availability change arrives.
-	preStart := time.Now()
-	if err := rc.PrePlan(0); err != nil {
-		log.Fatal(err)
-	}
-	pre := rc.PlanMetrics()
-	fmt.Printf("offline phase: %d plans solved concurrently and replicated in %s\n\n",
-		pre.Solves, time.Since(preStart).Round(time.Millisecond))
-	ff, err := rc.Throughput(0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	common, err := baselines.NewCommon(job, stats, ff)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,22 +44,47 @@ func main() {
 	}
 	fmt.Println()
 
-	results := map[string]sim.Result{}
-	for _, sys := range []sim.System{rc, baselines.Oobleck{C: common}, baselines.Bamboo{C: common}} {
-		res := sim.Run(sys, tr, horizon)
-		results[sys.Name()] = res
-		fmt.Println(res)
+	eng, _, err := experiments.Figure9Engine(job)
+	if err != nil {
+		log.Fatal(err)
 	}
-	r, o, b := results["ReCycle"], results["Oobleck"], results["Bamboo"]
+	opts := experiments.Figure9Options(job, stats)
+	opts.Horizon = horizon
+	res, err := replay.Replay(eng, tr, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ReCycle (op-granularity replay): avg %.2f samples/s over %d iterations\n",
+		res.Average, res.Iterations)
+	fmt.Printf("  %d membership events, %d spliced mid-iteration\n", len(res.Events), res.SplicedCount())
+	fmt.Printf("  emergent stall %.1fs, %d slots of completed work re-executed\n\n",
+		res.StallSeconds, res.LostSlots)
+
+	rc := sim.NewReCycle(job, stats)
+	ff, err := rc.Throughput(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	common, err := baselines.NewCommon(job, stats, ff)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := map[string]sim.Result{}
+	for _, sys := range []sim.System{baselines.Oobleck{C: common}, baselines.Bamboo{C: common}} {
+		r := sim.Run(sys, tr, horizon)
+		results[sys.Name()] = r
+		fmt.Println(r)
+	}
+	o, b := results["Oobleck"], results["Bamboo"]
 	if o.Average > 0 {
-		fmt.Printf("\nReCycle / Oobleck = %.2fx", r.Average/o.Average)
+		fmt.Printf("\nReCycle / Oobleck = %.2fx", res.Average/o.Average)
 	}
 	if b.Average > 0 {
-		fmt.Printf("   ReCycle / Bamboo = %.2fx", r.Average/b.Average)
+		fmt.Printf("   ReCycle / Bamboo = %.2fx", res.Average/b.Average)
 	}
 	fmt.Println()
 
-	m := rc.PlanMetrics()
-	fmt.Printf("\nplan service: %d solves (all offline), %d cache hits during replay, %d store hits, %d store errors\n",
-		m.Solves, m.CacheHits, m.StoreHits, m.StoreErrors)
+	m := eng.Metrics()
+	fmt.Printf("\nplan service: %d solves, %d cache hits, %d store hits, %d programs compiled (%d cache-served)\n",
+		m.Solves, m.CacheHits, m.StoreHits, m.Compiles, m.ProgramHits)
 }

@@ -15,27 +15,48 @@ import (
 // plan-switch path).
 //
 // Beyond hard failures, the heartbeat payload carries per-op timing
-// statistics (ObserveOp), from which the detector flags gray failures —
+// statistics (ObserveOp), from which the detector tracks gray failures —
 // slow-but-alive workers whose compute runs a configurable multiple above
-// the fleet median. The straggler callback is the Coordinator's re-plan
-// trigger: it feeds engine.MarkStraggler, which retunes the cost model so
-// the next plan fetch re-solves and routes around the slow worker.
+// the fleet median — continuously: each worker's timings feed an EWMA, so
+// a drifting slowdown keeps moving the observed factor after the first
+// flag. The straggler callback is the Coordinator's re-plan trigger: it
+// feeds engine.MarkStraggler, which retunes the cost model so the next
+// plan fetch re-solves and routes around the slow worker. To avoid
+// re-solving on noise, the callback fires only when the routing would
+// change: on the first crossing of StraggleFactor, when an
+// already-flagged worker's factor drifts by at least ReflagDelta from the
+// last factor reported, and (with factor 1) when it recovers below the
+// hysteresis band — clear-and-reflag, not flag-once.
 type Detector struct {
 	Timeout time.Duration
-	// StraggleFactor is the slowdown multiple over the fleet median mean
+	// StraggleFactor is the slowdown multiple over the fleet median EWMA
 	// op time at which a live worker is flagged as a straggler. <= 1
 	// disables gray-failure detection. Typical: 1.5.
 	StraggleFactor float64
 	// MinObservations is how many op timings a worker must report before
-	// its mean is trusted (0 defaults to 4).
+	// its EWMA is trusted (0 defaults to 4).
 	MinObservations int
+	// EWMAAlpha weights the newest observation in the moving average
+	// (0 defaults to 0.25). Higher tracks drift faster, at more noise.
+	EWMAAlpha float64
+	// ClearFactor is the hysteresis floor: a flagged worker whose factor
+	// falls below it is cleared (callback with factor 1) and must re-earn
+	// the flag. 0 defaults to 80% of StraggleFactor, so a worker hovering
+	// at the threshold does not flap the planner.
+	ClearFactor float64
+	// ReflagDelta is the relative factor movement that re-fires the
+	// callback for an already-flagged worker (0 defaults to 0.25): only a
+	// drift large enough to change micro-batch routing is worth a
+	// re-solve.
+	ReflagDelta float64
 
 	mu         sync.Mutex
 	lastSeen   map[schedule.Worker]time.Time
 	failed     map[schedule.Worker]bool
-	opSum      map[schedule.Worker]time.Duration
+	ewma       map[schedule.Worker]float64 // nanoseconds
 	opN        map[schedule.Worker]int
-	straggling map[schedule.Worker]float64
+	straggling map[schedule.Worker]float64 // latest observed factor of flagged workers
+	reported   map[schedule.Worker]float64 // factor last delivered to the callback
 	onFail     func(schedule.Worker)
 	onStraggle func(schedule.Worker, float64)
 	stop       chan struct{}
@@ -48,9 +69,10 @@ func NewDetector(timeout time.Duration, onFail func(schedule.Worker)) *Detector 
 		Timeout:    timeout,
 		lastSeen:   make(map[schedule.Worker]time.Time),
 		failed:     make(map[schedule.Worker]bool),
-		opSum:      make(map[schedule.Worker]time.Duration),
+		ewma:       make(map[schedule.Worker]float64),
 		opN:        make(map[schedule.Worker]int),
 		straggling: make(map[schedule.Worker]float64),
+		reported:   make(map[schedule.Worker]float64),
 		onFail:     onFail,
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
@@ -133,8 +155,9 @@ func (d *Detector) sweep() {
 }
 
 // ObserveOp records one measured compute-op duration for a worker — the
-// health-statistics half of the §5 heartbeat payload. It also counts as a
-// liveness signal.
+// health-statistics half of the §5 heartbeat payload. The duration feeds
+// the worker's EWMA, so drifting slowdowns keep moving the observed
+// factor after the first flag. It also counts as a liveness signal.
 func (d *Detector) ObserveOp(w schedule.Worker, t schedule.OpType, dur time.Duration) {
 	if t == schedule.Optimizer {
 		return // includes all-reduce wait time; not a compute health signal
@@ -142,22 +165,45 @@ func (d *Detector) ObserveOp(w schedule.Worker, t schedule.OpType, dur time.Dura
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.lastSeen[w] = time.Now()
-	d.opSum[w] += dur
+	alpha := d.EWMAAlpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.25
+	}
+	if d.opN[w] == 0 {
+		d.ewma[w] = float64(dur)
+	} else {
+		d.ewma[w] = alpha*float64(dur) + (1-alpha)*d.ewma[w]
+	}
 	d.opN[w]++
 }
 
-// DetectStragglers evaluates the observed op timings now: any live worker
-// whose mean op time exceeds StraggleFactor × the fleet median is flagged
-// (once, until cleared) and the straggler callback runs for it. The
-// returned map holds every currently flagged worker and its slowdown.
+// DetectStragglers evaluates the tracked op timings now: each live
+// worker's EWMA is compared against the fleet median, and the straggler
+// callback fires only when the result would change the routing — first
+// crossing of StraggleFactor, a ReflagDelta drift of an already-flagged
+// worker (clear-and-reflag at the new factor), or recovery below
+// ClearFactor (reported as factor 1, the cost model's clear value). The
+// returned map holds every currently flagged worker and its latest
+// observed slowdown.
 func (d *Detector) DetectStragglers() map[schedule.Worker]float64 {
-	var newly []schedule.Worker
-	newlyFactor := make(map[schedule.Worker]float64)
+	type change struct {
+		w      schedule.Worker
+		factor float64
+	}
+	var fire []change
 	d.mu.Lock()
 	if d.StraggleFactor > 1 {
 		minObs := d.MinObservations
 		if minObs <= 0 {
 			minObs = 4
+		}
+		clear := d.ClearFactor
+		if clear <= 0 || clear > d.StraggleFactor {
+			clear = 0.8 * d.StraggleFactor
+		}
+		delta := d.ReflagDelta
+		if delta <= 0 {
+			delta = 0.25
 		}
 		var means []float64
 		perWorker := make(map[schedule.Worker]float64)
@@ -165,7 +211,7 @@ func (d *Detector) DetectStragglers() map[schedule.Worker]float64 {
 			if n < minObs || d.failed[w] {
 				continue
 			}
-			m := float64(d.opSum[w]) / float64(n)
+			m := d.ewma[w]
 			perWorker[w] = m
 			means = append(means, m)
 		}
@@ -175,10 +221,27 @@ func (d *Detector) DetectStragglers() map[schedule.Worker]float64 {
 			if median > 0 {
 				for w, m := range perWorker {
 					factor := m / median
-					if factor >= d.StraggleFactor && d.straggling[w] == 0 {
+					rep, flagged := d.reported[w]
+					switch {
+					case !flagged && factor >= d.StraggleFactor:
+						d.reported[w] = factor
 						d.straggling[w] = factor
-						newly = append(newly, w)
-						newlyFactor[w] = factor
+						fire = append(fire, change{w, factor})
+					case flagged && factor < clear:
+						// Recovered through the hysteresis band: clear the
+						// mark (and the plan namespace moves back) — the
+						// worker must re-earn the flag if it slows again.
+						delete(d.reported, w)
+						delete(d.straggling, w)
+						fire = append(fire, change{w, 1})
+					case flagged && abs(factor-rep)/rep >= delta:
+						// Drifted enough to change the routing: re-flag at
+						// the new factor so the planner re-solves.
+						d.reported[w] = factor
+						d.straggling[w] = factor
+						fire = append(fire, change{w, factor})
+					case flagged:
+						d.straggling[w] = factor // track drift below the re-plan threshold
 					}
 				}
 			}
@@ -190,13 +253,25 @@ func (d *Detector) DetectStragglers() map[schedule.Worker]float64 {
 	}
 	cb := d.onStraggle
 	d.mu.Unlock()
-	schedule.SortWorkers(newly)
+	sort.Slice(fire, func(i, j int) bool {
+		if fire[i].w.Stage != fire[j].w.Stage {
+			return fire[i].w.Stage < fire[j].w.Stage
+		}
+		return fire[i].w.Pipeline < fire[j].w.Pipeline
+	})
 	if cb != nil {
-		for _, w := range newly {
-			cb(w, newlyFactor[w])
+		for _, c := range fire {
+			cb(c.w, c.factor)
 		}
 	}
 	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 // Stragglers returns the currently flagged gray-failed workers and their
@@ -217,6 +292,7 @@ func (d *Detector) ClearStraggler(w schedule.Worker) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	delete(d.straggling, w)
-	delete(d.opSum, w)
+	delete(d.reported, w)
+	delete(d.ewma, w)
 	delete(d.opN, w)
 }

@@ -21,7 +21,15 @@
 // (deferred weight gradients), per-stage optimizer steps with post-step
 // validation and rollback — plus the §5 heartbeat Detector, which flags
 // both hard failures (lapsed heartbeats) and gray failures: per-op timing
-// observations are compared against the fleet median, and the straggler
-// callback feeds MarkStraggler, retuning the plan service's cost model so
-// the next iteration's Program routes around the slow worker.
+// observations feed per-worker EWMAs compared against the fleet median,
+// with clear-and-reflag hysteresis so the straggler callback (feeding
+// MarkStraggler, which retunes the plan service's cost model) fires only
+// when the observed factor moves enough to change the routing.
+//
+// A repaired worker can re-join a running iteration: RunIterationRejoin
+// cuts the in-flight Program at a logical slot, executes the prefix the
+// DES predicts completed (agreement by construction makes that the
+// runtime's own prefix), restores the worker's parameters at the splice
+// instant, and interprets the suffix of the replay.Splice Program — the
+// same suffix-re-plan implementation the trace replayer uses.
 package dtrain

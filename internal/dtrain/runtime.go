@@ -10,7 +10,9 @@ import (
 	"recycle/internal/engine"
 	"recycle/internal/nn"
 	"recycle/internal/profile"
+	"recycle/internal/replay"
 	"recycle/internal/schedule"
+	"recycle/internal/sim"
 	"recycle/internal/tensor"
 )
 
@@ -220,6 +222,13 @@ func (rt *Runtime) RunIteration() (float64, error) {
 		}(w)
 	}
 	wg.Wait()
+	return rt.finish(prog, board, valErrs)
+}
+
+// finish seals one interpreted iteration: it records the executed
+// timeline, collects executor errors, rolls back on failure (§5) and
+// reduces the iteration loss.
+func (rt *Runtime) finish(prog *schedule.Program, board *depBoard, valErrs chan error) (float64, error) {
 	rt.lastProg = prog
 	rt.lastStarts, rt.lastEnds = board.snapshot()
 	close(valErrs)
@@ -251,6 +260,142 @@ func (rt *Runtime) RunIteration() (float64, error) {
 	return loss, nil
 }
 
+// RunIterationRejoin executes one training iteration during which the
+// failed worker w re-joins mid-iteration, at logical slot cutSlot — the
+// live-runtime half of the replay subsystem's splice path. The iteration
+// runs in two phases around one shared router: first the executed prefix
+// of the pre-event Program (exactly the instructions the DES predicts
+// complete by the cut — agreement by construction makes that the runtime's
+// own prefix), then, after the worker's parameters are restored from a
+// live peer at the splice instant, the suffix of the replay.Splice
+// Program, on whose re-planned streams the repaired worker computes — and
+// steps its stage's optimizer — before the iteration boundary it would
+// otherwise have idled to.
+func (rt *Runtime) RunIterationRejoin(w schedule.Worker, cutSlot int64) (float64, error) {
+	if !rt.failed[w] {
+		return 0, fmt.Errorf("dtrain: worker %s is not failed", w)
+	}
+	if cutSlot < 1 {
+		return 0, fmt.Errorf("dtrain: re-join cut slot %d must be >= 1", cutSlot)
+	}
+	prog, err := rt.Program()
+	if err != nil {
+		return 0, err
+	}
+	cutEx, err := sim.ExecuteProgram(prog, sim.ProgramOptions{CutAt: cutSlot})
+	if err != nil {
+		return 0, err
+	}
+	// The all-reduce rendezvous (contribution sends, reduced broadcasts)
+	// must not straddle the cut: a stage whose optimizer steps split
+	// between the phases would leave a phase-1 root blocked on a phase-2
+	// contribution.
+	type stageIter struct{ iter, stage int }
+	optDone, optPending := map[stageIter]bool{}, map[stageIter]bool{}
+	for i := range prog.Instrs {
+		op := prog.Instrs[i].Op
+		if op.Type != schedule.Optimizer {
+			continue
+		}
+		k := stageIter{op.Iter, op.Stage}
+		if cutEx.End[i] >= 0 {
+			optDone[k] = true
+		} else {
+			optPending[k] = true
+		}
+	}
+	for k := range optDone {
+		if optPending[k] {
+			return 0, fmt.Errorf("dtrain: cut %d splits stage %d's optimizer across the event; re-join before the stage's all-reduce", cutSlot, k.stage)
+		}
+	}
+	var costs schedule.CostFunc
+	if cm := rt.eng.CostModel(); cm != nil {
+		costs = cm.Fn()
+	}
+	spl, err := replay.Splice(replay.SpliceInput{
+		Prog: prog, Starts: cutEx.Start, Ends: cutEx.End,
+		Cut: cutSlot, Rejoin: []schedule.Worker{w}, Costs: costs,
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	r := newRouter()
+	rt.losses = make(map[nn.MBKey]float64)
+	rt.stepped = make(map[schedule.Worker]int)
+	preds := make(map[schedule.Worker]map[nn.MBKey]*tensor.Matrix)
+	predsOf := func(wk schedule.Worker) map[nn.MBKey]*tensor.Matrix {
+		if preds[wk] == nil {
+			preds[wk] = make(map[nn.MBKey]*tensor.Matrix)
+		}
+		return preds[wk]
+	}
+	valErrs := make(chan error, rt.Cfg.DP*rt.Cfg.PP*2)
+	var wg sync.WaitGroup
+
+	// Phase 1: the executed prefix of the pre-event Program (per-worker
+	// stream prefixes; messages to post-event consumers buffer in the
+	// router).
+	board1 := newDepBoard(len(prog.Instrs))
+	for _, wk := range prog.Workers() {
+		stream := prog.Streams[wk]
+		n := 0
+		for n < len(stream) && cutEx.End[stream[n]] >= 0 {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(wk schedule.Worker, ids []int, pd map[nn.MBKey]*tensor.Matrix) {
+			defer wg.Done()
+			if err := rt.execOps(wk, prog, board1, r, ids, 0, pd); err != nil {
+				valErrs <- err
+			}
+		}(wk, stream[:n], predsOf(wk))
+	}
+	wg.Wait()
+	if len(valErrs) > 0 {
+		return rt.finish(prog, board1, valErrs)
+	}
+
+	// The repaired worker's parameters and optimizer state are restored
+	// from a live data-parallel peer now — at the splice instant, not the
+	// iteration boundary (§3.4, pulled forward).
+	if err := rt.Rejoin(w); err != nil {
+		return 0, err
+	}
+
+	// Phase 2: the spliced Program's re-planned suffix, its dep board
+	// seeded with the prefix spans so cross-event edges resolve.
+	board2 := newDepBoard(len(spl.Program.Instrs))
+	for id, end := range spl.Done {
+		board2.post(id, end-spl.Program.DurOf(id), end)
+	}
+	for _, wk := range spl.Program.Workers() {
+		ids := spl.Program.Streams[wk]
+		for len(ids) > 0 {
+			if _, isDone := spl.Done[ids[0]]; !isDone {
+				break
+			}
+			ids = ids[1:]
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(wk schedule.Worker, ids []int, pd map[nn.MBKey]*tensor.Matrix) {
+			defer wg.Done()
+			if err := rt.execOps(wk, spl.Program, board2, r, ids, spl.Floors[wk], pd); err != nil {
+				valErrs <- err
+			}
+		}(wk, ids, predsOf(wk))
+	}
+	wg.Wait()
+	return rt.finish(spl.Program, board2, valErrs)
+}
+
 // iterationLoss reduces per-micro-batch losses in canonical order.
 func (rt *Runtime) iterationLoss() float64 {
 	rt.mu.Lock()
@@ -267,16 +412,24 @@ func (rt *Runtime) iterationLoss() float64 {
 	return sum / float64(len(keys))
 }
 
-// exec interprets one worker's Program instruction stream. Instructions
+// exec interprets one worker's full Program instruction stream.
+func (rt *Runtime) exec(w schedule.Worker, prog *schedule.Program, board *depBoard, r *router) error {
+	return rt.execOps(w, prog, board, r, prog.Streams[w], 0, make(map[nn.MBKey]*tensor.Matrix))
+}
+
+// execOps interprets a contiguous range of one worker's Program
+// instruction stream, starting from the given logical clock. Instructions
 // run in stream order; cross-worker ordering comes only from the Program's
 // dependency edges, awaited on the board. Alongside the real computation,
-// exec advances a logical slot clock with the same recurrence the
+// it advances a logical slot clock with the same recurrence the
 // discrete-event simulator uses — start = max(worker clock, dependency
 // ends + comm) — and posts each instruction's logical span back to the
 // board, so the executed timeline is the simulator's prediction realized.
-func (rt *Runtime) exec(w schedule.Worker, prog *schedule.Program, board *depBoard, r *router) error {
+// preds carries the worker's last-stage predictions awaiting their loss;
+// a splice resumption (RunIterationRejoin) threads it across phases so a
+// forward executed before the event meets its backward after it.
+func (rt *Runtime) execOps(w schedule.Worker, prog *schedule.Program, board *depBoard, r *router, stream []int, clock int64, preds map[nn.MBKey]*tensor.Matrix) error {
 	st := rt.stages[w]
-	preds := make(map[nn.MBKey]*tensor.Matrix) // last-stage predictions awaiting loss
 	last := w.Stage == rt.Cfg.PP-1
 	record := func(t schedule.OpType, d time.Duration) {
 		rt.mu.Lock()
@@ -295,8 +448,6 @@ func (rt *Runtime) exec(w schedule.Worker, prog *schedule.Program, board *depBoa
 	// bail posts every instruction from stream position si onward as a
 	// zero-length span — the abort path, keeping peers' dependency waits
 	// from hanging while the iteration unwinds toward rollback.
-	stream := prog.Streams[w]
-	var clock int64
 	bail := func(si int) {
 		for _, id := range stream[si:] {
 			board.post(id, clock, clock)

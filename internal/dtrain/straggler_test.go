@@ -148,6 +148,89 @@ func TestDetectorFlagsStragglerAndTriggersReplan(t *testing.T) {
 	}
 }
 
+// TestDetectorTracksDriftWithHysteresis drives the continuous-tracking
+// loop: a worker that keeps slowing down is re-flagged when its EWMA
+// factor drifts enough to change the routing, small wobbles stay silent,
+// recovery through the hysteresis band clears it with factor 1 (the cost
+// model's clear value), and a later slowdown re-earns the flag — the
+// clear-and-reflag cycle.
+func TestDetectorTracksDriftWithHysteresis(t *testing.T) {
+	d := NewDetector(time.Minute, nil)
+	d.StraggleFactor = 1.5
+	d.EWMAAlpha = 0.5
+	d.MinObservations = 4
+	victim := schedule.Worker{Stage: 0, Pipeline: 2}
+	type call struct {
+		w      schedule.Worker
+		factor float64
+	}
+	var calls []call
+	d.OnStraggle(func(w schedule.Worker, factor float64) {
+		calls = append(calls, call{w, factor})
+	})
+	healthy := []schedule.Worker{{Stage: 0, Pipeline: 0}, {Stage: 0, Pipeline: 1}}
+	feed := func(w schedule.Worker, ms int, n int) {
+		for i := 0; i < n; i++ {
+			d.ObserveOp(w, schedule.F, time.Duration(ms)*time.Millisecond)
+		}
+	}
+	for _, w := range healthy {
+		feed(w, 10, 6)
+	}
+	feed(victim, 20, 6)
+
+	// First crossing: flagged at ~2x.
+	d.DetectStragglers()
+	if len(calls) != 1 || calls[0].w != victim || calls[0].factor < 1.9 || calls[0].factor > 2.1 {
+		t.Fatalf("first flag wrong: %+v", calls)
+	}
+	// Same statistics again: no re-fire.
+	d.DetectStragglers()
+	if len(calls) != 1 {
+		t.Fatalf("re-fired without drift: %+v", calls)
+	}
+	// Drift to 3x: one 30ms observation moves the EWMA to 25ms (2.5x) —
+	// a 25% move over the reported 2x, so the callback re-fires.
+	feed(victim, 30, 1)
+	d.DetectStragglers()
+	if len(calls) != 2 || calls[1].w != victim || calls[1].factor < 2.4 {
+		t.Fatalf("drift not re-flagged: %+v", calls)
+	}
+	// A tiny wobble after the re-flag stays silent.
+	feed(victim, 26, 1)
+	d.DetectStragglers()
+	if len(calls) != 2 {
+		t.Fatalf("noise re-fired the callback: %+v", calls)
+	}
+	// Recovery: healthy observations walk the EWMA down through the
+	// hysteresis band (clear at 0.8 * 1.5 = 1.2x). On the way down, drops
+	// big enough to change the routing may re-plan at the lower factor;
+	// the final call reports factor 1, so MarkStraggler(w, 1) drops the
+	// cost-model entry.
+	for i := 0; i < 12 && calls[len(calls)-1].factor != 1; i++ {
+		feed(victim, 10, 1)
+		d.DetectStragglers()
+	}
+	if last := calls[len(calls)-1]; last != (call{victim, 1}) {
+		t.Fatalf("recovery not cleared with factor 1: %+v", calls)
+	}
+	for _, c := range calls[2 : len(calls)-1] {
+		if c.w != victim || c.factor >= 2.5 || c.factor < 1.2 {
+			t.Fatalf("downward re-flag outside (1.2, 2.5): %+v", calls)
+		}
+	}
+	if len(d.Stragglers()) != 0 {
+		t.Fatalf("cleared worker still flagged: %v", d.Stragglers())
+	}
+	// Slowing down again re-earns the flag.
+	n := len(calls)
+	feed(victim, 40, 8)
+	d.DetectStragglers()
+	if len(calls) != n+1 || calls[n].w != victim || calls[n].factor < 1.5 {
+		t.Fatalf("relapse not re-flagged: %+v", calls)
+	}
+}
+
 // TestRuntimeFeedsDetector checks the AttachDetector plumbing: running an
 // iteration populates the detector's per-worker observations.
 func TestRuntimeFeedsDetector(t *testing.T) {

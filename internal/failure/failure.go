@@ -56,6 +56,51 @@ func (t Trace) At(d time.Duration) int {
 	return t.Steps[i-1].Available
 }
 
+// Window is one membership interval of a trace: from Start (inclusive) to
+// End (exclusive) the fleet holds Available workers. Delta is the
+// availability change at Start relative to the previous window — negative
+// for failures, positive for re-joins, zero only for the first window — so
+// a replayer walking windows knows, at each boundary, whether it must
+// splice workers out of or back into the in-flight iteration.
+type Window struct {
+	Start, End time.Duration
+	Available  int
+	Delta      int
+}
+
+// Windows flattens the trace into membership windows over [0, horizon):
+// the epoch boundaries a trace-driven replayer consumes. Consecutive steps
+// with identical availability are merged (their boundary is not an event),
+// steps at or beyond the horizon are dropped, and the last window is
+// clipped to end exactly at the horizon. The trace is validated first, so
+// a re-join past the fleet total or a non-monotonic timeline is rejected
+// rather than silently replayed.
+func (t Trace) Windows(horizon time.Duration) ([]Window, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("failure: non-positive horizon %v", horizon)
+	}
+	var out []Window
+	for _, s := range t.Steps {
+		if s.At >= horizon {
+			break
+		}
+		if n := len(out); n > 0 {
+			if s.Available == out[n-1].Available {
+				continue // not a membership event
+			}
+			out[n-1].End = s.At
+			out = append(out, Window{Start: s.At, Available: s.Available, Delta: s.Available - out[n-1].Available})
+			continue
+		}
+		out = append(out, Window{Start: s.At, Available: s.Available})
+	}
+	out[len(out)-1].End = horizon
+	return out, nil
+}
+
 // MinAvailable returns the lowest availability in the trace.
 func (t Trace) MinAvailable() int {
 	min := t.Total

@@ -180,6 +180,83 @@ func BenchmarkTraceAt(b *testing.B) {
 	}
 }
 
+// TestWindows checks the replayer's membership-window iterator: merged
+// no-op steps, correct deltas for failures vs re-joins, and horizon
+// clipping.
+func TestWindows(t *testing.T) {
+	tr := Trace{Name: "w", Total: 8, Steps: []Step{
+		{0, 8}, {10 * time.Minute, 6}, {20 * time.Minute, 6}, {30 * time.Minute, 7},
+	}}
+	ws, err := tr.Windows(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Window{
+		{Start: 0, End: 10 * time.Minute, Available: 8, Delta: 0},
+		{Start: 10 * time.Minute, End: 30 * time.Minute, Available: 6, Delta: -2},
+		{Start: 30 * time.Minute, End: time.Hour, Available: 7, Delta: 1},
+	}
+	if len(ws) != len(want) {
+		t.Fatalf("got %d windows %v, want %d", len(ws), ws, len(want))
+	}
+	for i := range want {
+		if ws[i] != want[i] {
+			t.Fatalf("window %d = %+v, want %+v", i, ws[i], want[i])
+		}
+	}
+}
+
+// TestWindowsBoundaries pins the edge cases a replayer trips over:
+// back-to-back events on adjacent instants, an event exactly at the
+// horizon (dropped — the replay never enters it), a horizon cutting a
+// window short, and invalid traces (re-join past the fleet total,
+// non-increasing steps) rejected up front.
+func TestWindowsBoundaries(t *testing.T) {
+	// Back-to-back events one nanosecond apart each produce a window.
+	bb := Trace{Name: "bb", Total: 4, Steps: []Step{
+		{0, 4}, {time.Minute, 3}, {time.Minute + time.Nanosecond, 2},
+	}}
+	ws, err := bb.Windows(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("back-to-back events: got %d windows %v, want 3", len(ws), ws)
+	}
+	if ws[1].End-ws[1].Start != time.Nanosecond || ws[1].Delta != -1 || ws[2].Delta != -1 {
+		t.Fatalf("back-to-back window wrong: %+v", ws[1:])
+	}
+	// An event exactly at the horizon is outside [0, horizon).
+	ws, err = bb.Windows(time.Minute + time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 || ws[1].End != time.Minute+time.Nanosecond {
+		t.Fatalf("horizon-instant event not dropped: %v", ws)
+	}
+	// A horizon inside the first window clips it.
+	ws, err = bb.Windows(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1 || ws[0].End != 30*time.Second || ws[0].Available != 4 {
+		t.Fatalf("clipped window wrong: %v", ws)
+	}
+	// A re-join past the fleet total is rejected.
+	over := Trace{Name: "over", Total: 4, Steps: []Step{{0, 4}, {time.Minute, 5}}}
+	if _, err := over.Windows(time.Hour); err == nil {
+		t.Fatal("re-join past the fleet total was not rejected")
+	}
+	// Non-increasing timestamps are rejected.
+	dup := Trace{Name: "dup", Total: 4, Steps: []Step{{0, 4}, {time.Minute, 3}, {time.Minute, 2}}}
+	if _, err := dup.Windows(time.Hour); err == nil {
+		t.Fatal("duplicate step instant was not rejected")
+	}
+	if _, err := bb.Windows(0); err == nil {
+		t.Fatal("zero horizon was not rejected")
+	}
+}
+
 // TestFailureRate checks the Fig 10 percentage conversion.
 func TestFailureRate(t *testing.T) {
 	if got := FailureRate(2048, 10); got != 205 {

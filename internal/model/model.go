@@ -54,6 +54,30 @@ func Params(m config.Model) int64 {
 	return int64(m.Layers)*ParamsPerLayer(m) + int64(m.VocabSize)*h + h*int64(m.SeqLen) + 2*h
 }
 
+// LayerSplit returns the actual per-stage transformer-layer assignment of
+// a PP-way split: the ceiling split Split sizes the widest stage with,
+// materialized per stage — the first layers%pp stages carry one extra
+// layer. When pp does not divide the layer count the pipeline is
+// intrinsically imbalanced, which is what profile.StageScales turns into
+// per-stage cost-model multipliers.
+func LayerSplit(layers, pp int) ([]int, error) {
+	if pp < 1 {
+		return nil, fmt.Errorf("model: PP must be >= 1, got %d", pp)
+	}
+	if pp > layers {
+		return nil, fmt.Errorf("%w: PP=%d layers=%d", ErrTooManyStages, pp, layers)
+	}
+	out := make([]int, pp)
+	base, extra := layers/pp, layers%pp
+	for i := range out {
+		out[i] = base
+		if i < extra {
+			out[i]++
+		}
+	}
+	return out, nil
+}
+
 // Split computes the per-stage cost model for a PP-way layer split.
 func Split(m config.Model, pp, microBatch int) (Costs, error) {
 	if pp < 1 {

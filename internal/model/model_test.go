@@ -84,3 +84,41 @@ func TestMoreStagesLessMemory(t *testing.T) {
 		t.Fatalf("PP=16 stage bytes %d not below PP=8's %d", c16.StageWeights, c8.StageWeights)
 	}
 }
+
+// TestLayerSplit pins the per-stage layer assignment against Split's
+// ceiling sizing: the widest stage matches LayersPer, totals are
+// preserved, extra layers land on the first stages.
+func TestLayerSplit(t *testing.T) {
+	layers, err := LayerSplit(30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{8, 8, 7, 7}
+	for i := range want {
+		if layers[i] != want[i] {
+			t.Fatalf("30 layers over 4 stages = %v, want %v", layers, want)
+		}
+	}
+	for _, tc := range []struct{ l, pp int }{{24, 2}, {30, 4}, {32, 8}, {80, 64}, {7, 3}} {
+		ls, err := LayerSplit(tc.l, tc.pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, max := 0, 0
+		for _, x := range ls {
+			total += x
+			if x > max {
+				max = x
+			}
+		}
+		if total != tc.l {
+			t.Fatalf("LayerSplit(%d,%d) loses layers: %v", tc.l, tc.pp, ls)
+		}
+		if ceil := (tc.l + tc.pp - 1) / tc.pp; max != ceil {
+			t.Fatalf("LayerSplit(%d,%d) widest %d != ceiling %d", tc.l, tc.pp, max, ceil)
+		}
+	}
+	if _, err := LayerSplit(4, 8); err == nil {
+		t.Fatal("more stages than layers was not rejected")
+	}
+}

@@ -89,3 +89,44 @@ func FromTimes(t model.Times, mem model.MemoryModel, pp int) (Stats, error) {
 func Unit() Stats {
 	return Stats{TF: 1, TBInput: 1, TBWeight: 1, TOpt: 1, TComm: 0, UnitSeconds: 1}
 }
+
+// StageScales derives per-stage compute multipliers from the model's
+// actual layer assignment: Analytic times ops for the widest (ceiling)
+// stage, so a stage carrying fewer layers runs its ops proportionally
+// faster. The result is nil when the split is even — no imbalance, no
+// cost-model entry. GPT-3 3.35B at PP=4 (30 layers → 8,8,7,7) is the
+// Table 1 job this matters for.
+func StageScales(m config.Model, pp int) ([]float64, error) {
+	layers, err := model.LayerSplit(m.Layers, pp)
+	if err != nil {
+		return nil, err
+	}
+	widest := layers[0] // the ceiling split puts extra layers first
+	uneven := false
+	scales := make([]float64, pp)
+	for i, l := range layers {
+		scales[i] = float64(l) / float64(widest)
+		if l != widest {
+			uneven = true
+		}
+	}
+	if !uneven {
+		return nil, nil
+	}
+	return scales, nil
+}
+
+// CalibratedCost builds the job's heterogeneous cost model: the profiled
+// stats plus the stage multipliers StageScales derives from the real layer
+// split. Nil when the split is even — planning stays in the homogeneous
+// namespace and cached plans keep their keys.
+func CalibratedCost(job config.Job, stats Stats) (*CostModel, error) {
+	scales, err := StageScales(job.Model, job.Parallel.PP)
+	if err != nil {
+		return nil, err
+	}
+	if scales == nil {
+		return nil, nil
+	}
+	return UniformCost(stats).WithStageScale(scales), nil
+}

@@ -1,0 +1,380 @@
+package replay
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"recycle/internal/engine"
+	"recycle/internal/failure"
+	"recycle/internal/schedule"
+	"recycle/internal/sim"
+)
+
+// Options tunes one trace replay.
+type Options struct {
+	// Horizon bounds the replayed wall-clock time.
+	Horizon time.Duration
+	// DetectDelay is the failure-detection latency: after a mid-iteration
+	// failure, every worker's re-planned work is floored this far past the
+	// event instant. It surfaces as idle slots in the spliced schedule —
+	// an emergent bubble, not a subtracted stall.
+	DetectDelay time.Duration
+	// RejoinDelay is the parameter-copy time of a re-joining worker (its
+	// state is restored point-to-point from a live peer, §3.4); only the
+	// joining worker is floored by it, so live peers keep computing.
+	RejoinDelay time.Duration
+}
+
+// Event is one membership change the replayer spliced through.
+type Event struct {
+	// At is the event instant on the replayed wall clock.
+	At time.Duration
+	// Iteration is the index of the iteration the event interrupted.
+	Iteration int
+	// Kind is "fail" or "rejoin"; Workers lists the affected workers.
+	Kind    string
+	Workers []schedule.Worker
+	// Available is the fleet size after the event.
+	Available int
+	// LostOps / LostSlots measure completed work discarded because its
+	// provenance died with the failed worker.
+	LostOps   int
+	LostSlots int64
+	// ReplannedOps is the size of the re-planned suffix, ReroutedOps how
+	// many of those moved to a different worker than originally planned.
+	ReplannedOps, ReroutedOps int
+	// ResumedMidIteration reports that the interrupted iteration kept its
+	// executed prefix and completed without restarting.
+	ResumedMidIteration bool
+	// StallSeconds is the emergent cost of the event: how much longer the
+	// spliced iteration ran than the pre-event program would have
+	// (re-executed lost work, re-plan bubbles, detection/copy floors).
+	StallSeconds float64
+}
+
+// SplicedCount returns how many events interrupted a running iteration
+// and resumed it mid-flight (as opposed to boundary-aligned plan
+// switches).
+func (r *Result) SplicedCount() int {
+	n := 0
+	for _, ev := range r.Events {
+		if ev.ResumedMidIteration {
+			n++
+		}
+	}
+	return n
+}
+
+// Result summarizes one op-granularity trace replay.
+type Result struct {
+	Trace   string
+	Horizon time.Duration
+	// Iterations completed within the horizon; Samples and Average are the
+	// training throughput they carry (the Fig 9 quantity).
+	Iterations int
+	Samples    float64
+	Average    float64
+	// StallSeconds totals the per-event emergent stalls; LostSlots totals
+	// discarded completed work. Both are sums over Events.
+	StallSeconds float64
+	LostSlots    int64
+	Events       []Event
+}
+
+// Replay drives the whole availability trace through chained Program
+// executions: one compiled Program per membership state, fetched from the
+// engine's Coordinator path, executed on the DES virtual clock; membership
+// changes that land inside an iteration splice the in-flight Program and
+// resume, so every stall in the result is the makespan of real lost or
+// re-planned instructions. The engine must plan single iterations
+// (UnrollIterations 1), the granularity the live runtime also chains at.
+func Replay(eng *engine.Engine, tr failure.Trace, opt Options) (*Result, error) {
+	job := eng.Job()
+	pl := eng.Planner()
+	if pl.UnrollIterations != 1 {
+		return nil, fmt.Errorf("replay: engine plans %d-iteration programs; chaining needs UnrollIterations 1", pl.UnrollIterations)
+	}
+	unit := pl.Stats.UnitSeconds
+	if unit <= 0 {
+		return nil, fmt.Errorf("replay: non-positive duration unit %g", unit)
+	}
+	if total := job.Parallel.Workers(); total != tr.Total {
+		return nil, fmt.Errorf("replay: trace sized for %d workers, job has %d", tr.Total, total)
+	}
+	windows, err := tr.Windows(opt.Horizon)
+	if err != nil {
+		return nil, err
+	}
+	var costs schedule.CostFunc
+	if cm := eng.CostModel(); cm != nil {
+		costs = cm.Fn()
+	}
+	toSlots := func(d time.Duration) int64 { return int64(math.Round(d.Seconds() / unit)) }
+
+	res := &Result{Trace: tr.Name, Horizon: opt.Horizon}
+	horizonSec := opt.Horizon.Seconds()
+	const eps = 1e-9
+	failed := make(map[schedule.Worker]bool)
+	var failStack []schedule.Worker
+	fail := func(k int) ([]schedule.Worker, error) {
+		ws, err := pickVictims(job.Parallel.DP, job.Parallel.PP, failed, k)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range ws {
+			failed[w] = true
+			failStack = append(failStack, w)
+		}
+		return ws, nil
+	}
+	rejoin := func(k int) ([]schedule.Worker, error) {
+		if k > len(failStack) {
+			return nil, fmt.Errorf("replay: trace re-joins %d workers but only %d are down", k, len(failStack))
+		}
+		ws := make([]schedule.Worker, 0, k)
+		for i := 0; i < k; i++ { // most recently failed first
+			w := failStack[len(failStack)-1]
+			failStack = failStack[:len(failStack)-1]
+			delete(failed, w)
+			ws = append(ws, w)
+		}
+		return ws, nil
+	}
+	if down := tr.Total - windows[0].Available; down > 0 {
+		if _, err := fail(down); err != nil {
+			return nil, err
+		}
+	}
+
+	execCache := make(map[*schedule.Program]*sim.Execution)
+	baseExec := func(p *schedule.Program) (*sim.Execution, error) {
+		if ex, ok := execCache[p]; ok {
+			return ex, nil
+		}
+		ex, err := sim.ExecuteProgram(p, sim.ProgramOptions{})
+		if err != nil {
+			return nil, err
+		}
+		execCache[p] = ex
+		return ex, nil
+	}
+
+	now := 0.0
+	wi := 0
+	for now < horizonSec-eps {
+		// Boundary-aligned events: when an iteration ends exactly on (or
+		// after) a window boundary, the membership change applies between
+		// iterations — a plan switch with nothing in flight to splice. A
+		// failure still pays the detection latency (the fleet idles until
+		// the coordinator notices, same floor the mid-iteration path
+		// applies); a boundary re-join is free — the parameter copy
+		// overlaps the previous iteration (§3.4).
+		for wi+1 < len(windows) && windows[wi].End.Seconds() <= now+eps {
+			delta := windows[wi+1].Delta
+			ev := Event{
+				At:        windows[wi].End,
+				Iteration: res.Iterations,
+				Available: windows[wi+1].Available,
+			}
+			if delta < 0 {
+				ev.Kind = "fail"
+				if ev.Workers, err = fail(-delta); err != nil {
+					return nil, err
+				}
+				ev.StallSeconds = opt.DetectDelay.Seconds()
+				res.StallSeconds += ev.StallSeconds
+				now += ev.StallSeconds
+			} else {
+				ev.Kind = "rejoin"
+				if ev.Workers, err = rejoin(delta); err != nil {
+					return nil, err
+				}
+			}
+			res.Events = append(res.Events, ev)
+			wi++
+		}
+		prog, err := eng.ProgramFor(failed)
+		if err != nil {
+			return nil, err
+		}
+		base, err := baseExec(prog)
+		if err != nil {
+			return nil, err
+		}
+		iterSec := float64(base.Makespan) * unit
+		if iterSec <= 0 {
+			return nil, fmt.Errorf("replay: zero-length iteration for %d failures", len(failed))
+		}
+		boundary := windows[wi].End.Seconds()
+		if now+iterSec <= boundary+eps {
+			// Steady state: identical Program executions repeat until the
+			// next membership event; fast-forward whole iterations against
+			// the cached timeline.
+			k := int((boundary - now + eps) / iterSec)
+			if k < 1 {
+				k = 1
+			}
+			res.Iterations += k
+			res.Samples += float64(k * job.Batch.GlobalBatch)
+			now += float64(k) * iterSec
+			continue
+		}
+		if wi == len(windows)-1 {
+			break // the horizon cuts the final iteration; its partial work carries no samples
+		}
+
+		// One or more membership events land inside this iteration: cut,
+		// splice, resume — repeatedly, if the resumed iteration is
+		// interrupted again.
+		iterStart := now
+		curProg := prog
+		var done map[int]int64
+		var floors map[schedule.Worker]int64
+		endSec := 0.0
+		expectEnd := base.Makespan // what the iteration would have taken without the event
+		for {
+			eventSec := windows[wi].End.Seconds()
+			cut := toSlots(time.Duration((eventSec - iterStart) * float64(time.Second)))
+			if cut < 1 {
+				cut = 1
+			}
+			delta := windows[wi+1].Delta
+			var dying, joining []schedule.Worker
+			var kind string
+			if delta < 0 {
+				kind = "fail"
+				if dying, err = fail(-delta); err != nil {
+					return nil, err
+				}
+			} else {
+				kind = "rejoin"
+				if joining, err = rejoin(delta); err != nil {
+					return nil, err
+				}
+			}
+			cutOpts := sim.ProgramOptions{CutAt: cut, Done: done, ReleaseAt: floors}
+			if len(dying) > 0 {
+				cutOpts.FailAt = make(map[schedule.Worker]int64, len(dying))
+				for _, w := range dying {
+					cutOpts.FailAt[w] = cut
+				}
+			}
+			cutEx, err := sim.ExecuteProgram(curProg, cutOpts)
+			if err != nil {
+				return nil, err
+			}
+			release := make(map[schedule.Worker]int64)
+			if kind == "fail" {
+				floor := cut + toSlots(opt.DetectDelay)
+				for _, w := range curProg.Workers() {
+					release[w] = floor
+				}
+			} else if d := toSlots(opt.RejoinDelay); d > 0 {
+				for _, w := range joining {
+					release[w] = cut + d
+				}
+			}
+			spl, err := Splice(SpliceInput{
+				Prog: curProg, Starts: cutEx.Start, Ends: cutEx.End,
+				Cut: cut, Fail: dying, Rejoin: joining,
+				Costs: costs, Release: release,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ev := Event{
+				At:           time.Duration(eventSec * float64(time.Second)),
+				Iteration:    res.Iterations,
+				Kind:         kind,
+				Available:    windows[wi+1].Available,
+				LostOps:      spl.LostOps,
+				LostSlots:    spl.LostSlots,
+				ReplannedOps: spl.SuffixOps,
+				ReroutedOps:  spl.ReroutedOps,
+			}
+			ev.Workers = append(ev.Workers, dying...)
+			ev.Workers = append(ev.Workers, joining...)
+			ev.ResumedMidIteration = spl.PrefixOps > 0
+			ev.StallSeconds = math.Max(0, float64(spl.EndSlot-expectEnd)*unit)
+			expectEnd = spl.EndSlot
+			res.Events = append(res.Events, ev)
+			res.StallSeconds += ev.StallSeconds
+			res.LostSlots += spl.LostSlots
+			wi++
+			curProg, done, floors = spl.Program, spl.Done, spl.Floors
+			endSec = iterStart + float64(spl.EndSlot)*unit
+			if wi < len(windows)-1 && windows[wi].End.Seconds() < endSec-eps {
+				continue // the next event interrupts the spliced iteration too
+			}
+			break
+		}
+		if endSec > horizonSec+eps {
+			break // the spliced iteration outruns the horizon; no sample
+		}
+		res.Iterations++
+		res.Samples += float64(job.Batch.GlobalBatch)
+		now = endSec
+	}
+	res.Average = res.Samples / horizonSec
+	return res, nil
+}
+
+// pickVictims chooses k live workers to fail, spreading failures across
+// stages the way Failure Normalization would (fewest-failed stage first)
+// and never killing a stage's last live worker. Within a stage the
+// highest-numbered live pipeline dies — a deterministic stand-in for the
+// trace's unnamed machine identities.
+func pickVictims(dp, pp int, failed map[schedule.Worker]bool, k int) ([]schedule.Worker, error) {
+	downPer := make([]int, pp)
+	for w := range failed {
+		if failed[w] {
+			downPer[w.Stage]++
+		}
+	}
+	var out []schedule.Worker
+	for len(out) < k {
+		stage := -1
+		for s := 0; s < pp; s++ {
+			if downPer[s] >= dp-1 {
+				continue // keep at least one live peer per stage
+			}
+			if stage < 0 || downPer[s] < downPer[stage] {
+				stage = s
+			}
+		}
+		if stage < 0 {
+			return nil, fmt.Errorf("replay: cannot fail %d more workers without emptying a stage", k-len(out))
+		}
+		victim := schedule.Worker{Stage: stage, Pipeline: -1}
+		for p := dp - 1; p >= 0; p-- {
+			w := schedule.Worker{Stage: stage, Pipeline: p}
+			if !failed[w] && !contains(out, w) {
+				victim = w
+				break
+			}
+		}
+		if victim.Pipeline < 0 {
+			return nil, fmt.Errorf("replay: no live worker left at stage %d", stage)
+		}
+		out = append(out, victim)
+		downPer[stage]++
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage < out[j].Stage
+		}
+		return out[i].Pipeline < out[j].Pipeline
+	})
+	return out, nil
+}
+
+func contains(ws []schedule.Worker, w schedule.Worker) bool {
+	for _, x := range ws {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}

@@ -30,6 +30,24 @@ type ProgramOptions struct {
 	// complete, and everything depending on them is left blocked —
 	// mid-iteration failure injection.
 	FailAt map[schedule.Worker]int64
+	// CutAt, when > 0, freezes the virtual clock at an event instant: no
+	// instruction starts at or after CutAt, while instructions already in
+	// flight run to completion. The completed set of a cut execution is the
+	// executed prefix a mid-iteration splice (internal/replay) keeps;
+	// unexecuted instructions are classified Blocked but do not make the
+	// execution a deadlock.
+	CutAt int64
+	// Done marks instructions that already executed before this program run
+	// — the frozen prefix of a spliced Program — each mapped to its
+	// recorded completion time. Done instructions are never re-executed;
+	// they must form a prefix of their worker's stream (spliced programs
+	// order the executed prefix first by construction).
+	Done map[int]int64
+	// ReleaseAt floors a worker's earliest post-prefix start time: the
+	// splice instant plus any detection or parameter-copy delay. Workers
+	// absent from the map are released as soon as their stream and
+	// dependencies allow.
+	ReleaseAt map[schedule.Worker]int64
 }
 
 // Execution is the outcome of executing one Program in virtual time.
@@ -96,6 +114,44 @@ func ExecuteProgram(p *schedule.Program, opt ProgramOptions) (*Execution, error)
 	free := make(map[schedule.Worker]int64, len(workers))
 	dead := make(map[schedule.Worker]bool, len(opt.FailAt))
 
+	// Install the pre-executed prefix: spans recorded, streams advanced
+	// past it, worker clocks floored at its completion times.
+	for id, end := range opt.Done {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("sim: done instruction %d outside [0,%d)", id, n)
+		}
+		ex.Start[id], ex.End[id] = end-p.DurOf(id), end
+		ex.Completed++
+		if end > ex.Makespan {
+			ex.Makespan = end
+		}
+		w := p.Instrs[id].Op.Worker()
+		if end > free[w] {
+			free[w] = end
+		}
+	}
+	for _, w := range workers {
+		stream := p.Streams[w]
+		for pos[w] < len(stream) {
+			if _, done := opt.Done[stream[pos[w]]]; !done {
+				break
+			}
+			pos[w]++
+		}
+		if r, ok := opt.ReleaseAt[w]; ok && r > free[w] {
+			free[w] = r
+		}
+	}
+	if len(opt.Done) > 0 {
+		placed := 0
+		for _, w := range workers {
+			placed += pos[w]
+		}
+		if placed != len(opt.Done) {
+			return nil, fmt.Errorf("sim: done set is not a union of stream prefixes (%d of %d instructions at stream heads)", placed, len(opt.Done))
+		}
+	}
+
 	// Fixed-point sweep: each pass advances every worker as far as its
 	// dependencies allow. Instruction start times are a pure function of
 	// producer end times and stream order, so the sweep order cannot
@@ -127,6 +183,12 @@ func ExecuteProgram(p *schedule.Program, opt ProgramOptions) (*Execution, error)
 				start := free[w]
 				if ready > start {
 					start = ready
+				}
+				if opt.CutAt > 0 && start >= opt.CutAt {
+					// The event instant arrived before this instruction could
+					// start; the worker freezes here. Per-worker starts are
+					// monotone, so nothing later in the stream can run either.
+					break
 				}
 				end := start + durOf(w, id, ins.Op)
 				if failAt, failing := opt.FailAt[w]; failing && end > failAt {
@@ -163,7 +225,7 @@ func ExecuteProgram(p *schedule.Program, opt ProgramOptions) (*Execution, error)
 	}
 	sort.Ints(ex.Lost)
 	sort.Ints(ex.Blocked)
-	if len(opt.FailAt) == 0 && ex.Completed != n {
+	if len(opt.FailAt) == 0 && opt.CutAt <= 0 && ex.Completed != n {
 		return ex, fmt.Errorf("sim: program deadlocked with %d of %d instructions unexecuted", n-ex.Completed, n)
 	}
 	return ex, nil

@@ -154,6 +154,86 @@ func TestMidIterationFailure(t *testing.T) {
 	}
 }
 
+// TestCutAtFreezesClock cuts a healthy execution at an event instant: no
+// instruction starts at or after the cut, in-flight work completes, and
+// the remainder is classified blocked (not a deadlock error).
+func TestCutAtFreezesClock(t *testing.T) {
+	p := compile1F1B(t, schedule.Shape{DP: 2, PP: 3, MB: 6, Iter: 1})
+	full, err := ExecuteProgram(p, ProgramOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := full.Makespan / 2
+	ex, err := ExecuteProgram(p, ProgramOptions{CutAt: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Completed == 0 || ex.Completed == len(p.Instrs) {
+		t.Fatalf("cut execution completed %d of %d instructions", ex.Completed, len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		if ex.Start[i] >= 0 && ex.Start[i] >= cut {
+			t.Fatalf("instruction %d started at %d, at/after the cut %d", i, ex.Start[i], cut)
+		}
+	}
+	if len(ex.Lost) != 0 {
+		t.Fatalf("cut execution lost %d instructions; none should be lost without a failure", len(ex.Lost))
+	}
+	if got := ex.Completed + len(ex.Blocked); got != len(p.Instrs) {
+		t.Fatalf("completed (%d) + blocked (%d) != %d instructions", ex.Completed, len(ex.Blocked), len(p.Instrs))
+	}
+}
+
+// TestDonePrefixResumes resumes a cut execution: the completed prefix is
+// handed back via Done, release floors delay the suffix to the event
+// instant, and the combined timeline completes every instruction exactly
+// once, never dipping a suffix start below the floor.
+func TestDonePrefixResumes(t *testing.T) {
+	p := compile1F1B(t, schedule.Shape{DP: 2, PP: 3, MB: 6, Iter: 1})
+	full, err := ExecuteProgram(p, ProgramOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := full.Makespan / 2
+	head, err := ExecuteProgram(p, ProgramOptions{CutAt: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(map[int]int64)
+	for i := range p.Instrs {
+		if head.End[i] >= 0 {
+			done[i] = head.End[i]
+		}
+	}
+	release := make(map[schedule.Worker]int64)
+	for _, w := range p.Workers() {
+		release[w] = cut
+	}
+	tail, err := ExecuteProgram(p, ProgramOptions{Done: done, ReleaseAt: release})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail.Completed != len(p.Instrs) {
+		t.Fatalf("resumed execution completed %d of %d instructions", tail.Completed, len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		if end, ok := done[i]; ok {
+			if tail.End[i] != end {
+				t.Fatalf("prefix instruction %d re-timed: end %d, recorded %d", i, tail.End[i], end)
+			}
+			continue
+		}
+		if tail.Start[i] < cut {
+			t.Fatalf("suffix instruction %d started at %d, before the release floor %d", i, tail.Start[i], cut)
+		}
+	}
+	// A Done set that is not a stream prefix is rejected.
+	bad := map[int]int64{p.Streams[p.Workers()[0]][1]: 5}
+	if _, err := ExecuteProgram(p, ProgramOptions{Done: bad}); err == nil {
+		t.Fatal("mid-stream done set was not rejected")
+	}
+}
+
 // TestDeadlockDetected checks that a cyclic hand-built program is reported
 // instead of spinning or silently under-executing.
 func TestDeadlockDetected(t *testing.T) {

@@ -1,12 +1,13 @@
 // Package sim is the training simulator of §6.3, with two backends at two
 // levels of abstraction.
 //
-// The trace-replay backend (Run) replays an availability trace against a
+// The scalar backend (Run) replays an availability trace against a
 // fault-tolerant training system model (System) and reports instantaneous
 // and average throughput, charging each system its own reconfiguration
-// stalls at failure and re-join events — the Fig 9 experiments. ReCycle
-// itself participates through the plan service adapter (ReCycle), whose
-// steady-state throughput comes from precomputed adaptive plans.
+// stalls at failure and re-join events — the baselines' rows of the Fig 9
+// experiments. ReCycle's own Fig 9 row no longer uses this path: it is
+// replayed at op granularity by internal/replay, on top of the
+// discrete-event backend below.
 //
 // The discrete-event backend (ExecuteProgram) drops below steady-state
 // scalars to the op level: it executes a compiled schedule.Program — the
@@ -17,7 +18,11 @@
 // homogeneously (ProgramOptions.Durations), per worker
 // (ProgramOptions.Scale, straggler injection) or per op
 // (ProgramOptions.OpDuration); mid-iteration failures are injected with
-// FailAt, reporting lost and blocked instruction sets.
+// FailAt, reporting lost and blocked instruction sets. The splice hooks
+// serve internal/replay: CutAt freezes the clock at a membership-event
+// instant, Done resumes a spliced Program past its frozen prefix, and
+// ReleaseAt floors re-planned work (detection and parameter-copy
+// latencies surface as idle time, not subtracted stalls).
 //
 // The paper validates this style of simulator against its real 32-GPU
 // cluster within 5.98% (Table 2); here the simulator is the primary

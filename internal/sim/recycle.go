@@ -88,6 +88,16 @@ func (r *ReCycle) Throughput(failed int) (float64, error) {
 	return r.Planner.ThroughputSamplesPerSec(p), nil
 }
 
+// StageCopySeconds returns the time to copy one stage's fp16 weights
+// (the 2 of the 16 bytes/param optimizer state) over the inter-node link
+// — the per-failure migration charge of Failure Normalization and the
+// re-join parameter-restore latency. One shared definition keeps the
+// scalar baseline model and the op-granularity replayer
+// (experiments.Figure9Options) comparable.
+func StageCopySeconds(stats profile.Stats, hw config.Hardware) float64 {
+	return float64(stats.Memory.StaticBytes) / 8 / hw.InterLinkBytesPerSec
+}
+
 // ReconfigStall implements System. New failures cost detection plus one
 // stage-parameter copy each (normalization swap); re-joins happen at
 // iteration boundaries with the copy overlapped (§3.4).
@@ -100,8 +110,6 @@ func (r *ReCycle) ReconfigStall(prev, next int) float64 {
 		return 1
 	}
 	migrations := float64(next - prev)
-	stats := r.Planner.Stats
-	paramBytes := float64(stats.Memory.StaticBytes) / 8 // fp16 weights of one stage (of the 16 B/param state)
-	copySec := paramBytes / r.Planner.Job.Hardware.InterLinkBytesPerSec
+	copySec := StageCopySeconds(r.Planner.Stats, r.Planner.Job.Hardware)
 	return r.DetectSeconds + migrations*copySec
 }
