@@ -1,5 +1,5 @@
 // Command recycle-bench regenerates every table and figure of the paper's
-// evaluation (§6) and prints the reports — the data behind EXPERIMENTS.md.
+// evaluation (§6) and prints the reports — the data behind EVALUATION.md.
 // With -json the full structured result set is emitted as one JSON
 // document instead, so CI and perf-trajectory tooling can diff runs
 // without scraping formatted text.
@@ -28,6 +28,10 @@ type report struct {
 	Fig11     []experiments.Fig11Row
 	Fig12     []experiments.Fig12Row
 	Fig13     []experiments.Fig13Cell
+	// Migration compares the replay-measured state movement (micro-batch
+	// triples that changed owners at splices) against the scalar
+	// failure-normalization restart charge for the Table 1 workloads.
+	Migration []experiments.MigrationRow
 }
 
 func main() {
@@ -73,6 +77,10 @@ func main() {
 	emit(t)
 
 	rep.Fig11, t, err = experiments.Fig11()
+	check(err)
+	emit(t)
+
+	rep.Migration, t, err = experiments.Migration()
 	check(err)
 	emit(t)
 

@@ -41,6 +41,9 @@ func main() {
 	aware := flag.Bool("aware", true, "with -des and -straggle != 1: also solve a straggler-aware plan (cost model carries the slowdown) and compare makespans")
 	replayMode := flag.Bool("replay", false, "drive the trace through op-granularity chained Program executions (internal/replay): mid-iteration failures and re-joins splice the in-flight Program, stalls emerge from lost instructions")
 	events := flag.Bool("events", false, "with -replay: print the per-event splice log")
+	mtbf := flag.Duration("mtbf", 0, "per-machine Poisson failure trace: mean time between failures of each machine (0 keeps the monotonic workload)")
+	mttr := flag.Duration("mttr", 30*time.Minute, "with -mtbf: mean repair time of a failed machine (0 makes failures permanent)")
+	seed := flag.Int64("seed", 1, "with -mtbf: seed of the per-machine failure processes")
 	flag.Parse()
 
 	jobs := map[string]config.Job{
@@ -67,7 +70,7 @@ func main() {
 		return
 	}
 	if *replayMode {
-		if err := opReplay(job, *model, *gcp, *freq, *horizon, *events); err != nil {
+		if err := opReplay(job, *model, *gcp, *freq, *horizon, *events, *mtbf, *mttr, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -106,9 +109,12 @@ func main() {
 		os.Exit(2)
 	}
 	var tr failure.Trace
-	if *gcp {
+	switch {
+	case *gcp:
 		tr = failure.GCP()
-	} else {
+	case *mtbf > 0:
+		tr = failure.PoissonMachines(job.Parallel.Workers(), *mtbf, *mttr, *horizon, *seed)
+	default:
 		tr = failure.Monotonic(job.Parallel.Workers(), *freq, *horizon)
 	}
 	res := sim.Run(sys, tr, *horizon)
@@ -131,12 +137,15 @@ func main() {
 // opReplay drives the selected trace through internal/replay: chained
 // compiled-Program executions, one per membership state, with
 // mid-iteration failures and re-joins spliced into the in-flight Program.
-// The GCP trace is sized for 24 workers, so -gcp selects the Fig 9
-// 24-worker variant of the model; monotonic traces replay the Table 1
+// Victims come from the trace's machine identities. The GCP trace is
+// sized for 24 workers, so -gcp selects the Fig 9 24-worker variant of
+// the model; -mtbf replaces the monotonic workload with per-machine
+// Poisson failure processes; plain monotonic traces replay the Table 1
 // 32-worker shape.
-func opReplay(job config.Job, model string, gcp bool, freq, horizon time.Duration, events bool) error {
+func opReplay(job config.Job, model string, gcp bool, freq, horizon time.Duration, events bool, mtbf, mttr time.Duration, seed int64) error {
 	var tr failure.Trace
-	if gcp {
+	switch {
+	case gcp:
 		switch model {
 		case "medium":
 			job = experiments.Figure9Jobs()[0]
@@ -146,14 +155,16 @@ func opReplay(job config.Job, model string, gcp bool, freq, horizon time.Duratio
 			return fmt.Errorf("-replay -gcp needs a 24-worker Fig 9 preset (medium | 6.7b), not %q", model)
 		}
 		tr = failure.GCP()
-	} else {
+	case mtbf > 0:
+		tr = failure.PoissonMachines(job.Parallel.Workers(), mtbf, mttr, horizon, seed)
+	default:
 		tr = failure.Monotonic(job.Parallel.Workers(), freq, horizon)
 	}
-	eng, stats, err := experiments.Figure9Engine(job)
+	eng, stats, err := experiments.ReplayEngine(job, nil)
 	if err != nil {
 		return err
 	}
-	opts := experiments.Figure9Options(job, stats)
+	opts := experiments.ReplayOptions(job, stats)
 	opts.Horizon = horizon
 	res, err := replay.Replay(eng, tr, opts)
 	if err != nil {
@@ -166,12 +177,13 @@ func opReplay(job config.Job, model string, gcp bool, freq, horizon time.Duratio
 	fmt.Printf("  %d iterations, %.0f samples, avg %.2f samples/s\n", res.Iterations, res.Samples, res.Average)
 	fmt.Printf("  %d membership events (%d spliced mid-iteration)\n", len(res.Events), res.SplicedCount())
 	fmt.Printf("  emergent stall %.1fs, %d slots of completed work re-executed\n", res.StallSeconds, res.LostSlots)
+	fmt.Printf("  %d micro-batch triples migrated owners across splices\n", res.MigratedTriples)
 	if events {
-		fmt.Printf("\n%10s %6s %8s %9s %8s %10s %9s %8s\n",
-			"at", "kind", "workers", "replanned", "rerouted", "lost-slots", "stall", "spliced")
+		fmt.Printf("\n%10s %6s %10s %8s %9s %8s %9s %10s %9s %8s\n",
+			"at", "kind", "machines", "workers", "replanned", "rerouted", "migrated", "lost-slots", "stall", "spliced")
 		for _, ev := range res.Events {
-			fmt.Printf("%10s %6s %8v %9d %8d %10d %8.1fs %8v\n",
-				ev.At.Round(time.Second), ev.Kind, ev.Workers, ev.ReplannedOps, ev.ReroutedOps, ev.LostSlots, ev.StallSeconds, ev.ResumedMidIteration)
+			fmt.Printf("%10s %6s %10v %8v %9d %8d %9d %10d %8.1fs %8v\n",
+				ev.At.Round(time.Second), ev.Kind, ev.Machines, ev.Workers, ev.ReplannedOps, ev.ReroutedOps, ev.MigratedTriples, ev.LostSlots, ev.StallSeconds, ev.ResumedMidIteration)
 		}
 	}
 	return nil

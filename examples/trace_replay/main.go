@@ -44,11 +44,11 @@ func main() {
 	}
 	fmt.Println()
 
-	eng, _, err := experiments.Figure9Engine(job)
+	eng, _, err := experiments.ReplayEngine(job, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := experiments.Figure9Options(job, stats)
+	opts := experiments.ReplayOptions(job, stats)
 	opts.Horizon = horizon
 	res, err := replay.Replay(eng, tr, opts)
 	if err != nil {
@@ -57,8 +57,9 @@ func main() {
 	fmt.Printf("ReCycle (op-granularity replay): avg %.2f samples/s over %d iterations\n",
 		res.Average, res.Iterations)
 	fmt.Printf("  %d membership events, %d spliced mid-iteration\n", len(res.Events), res.SplicedCount())
-	fmt.Printf("  emergent stall %.1fs, %d slots of completed work re-executed\n\n",
+	fmt.Printf("  emergent stall %.1fs, %d slots of completed work re-executed\n",
 		res.StallSeconds, res.LostSlots)
+	fmt.Printf("  %d micro-batch triples migrated owners across splices\n\n", res.MigratedTriples)
 
 	rc := sim.NewReCycle(job, stats)
 	ff, err := rc.Throughput(0)

@@ -1,5 +1,7 @@
 package config
 
+import "time"
+
 // GPT-3 family presets used throughout the paper's evaluation (§6.1 real
 // cluster runs and §6.3 simulated scaling). Architecture shapes follow the
 // GPT-3 paper / Megatron-LM conventions; parameter counts land near the
@@ -53,6 +55,14 @@ func Table1Jobs() []Job {
 		{Model: GPT3_3_35B, Parallel: Parallelism{DP: 8, PP: 4, TP: 1}, Batch: Batch{GlobalBatch: 1024, MicroBatch: 1}, Hardware: A100x1},
 		{Model: GPT3_6_7B, Parallel: Parallelism{DP: 4, PP: 8, TP: 1}, Batch: Batch{GlobalBatch: 1024, MicroBatch: 1}, Hardware: A100x1},
 	}
+}
+
+// Table1Frequencies returns the monotonic failure frequencies of the §6.2
+// real-cluster runs (Table 1, and the Fig 11 ablation's hardest point):
+// one worker lost every 6h, 2h and 30m. Ordered least to most frequent, so
+// consumers sweeping them see failure pressure increase monotonically.
+func Table1Frequencies() []time.Duration {
+	return []time.Duration{6 * time.Hour, 2 * time.Hour, 30 * time.Minute}
 }
 
 // Fig10Jobs returns the four simulated scaling configurations from §6.3:

@@ -1,12 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (§6) from this repository's own substrates. Each experiment
-// returns a formatted report plus structured rows, and is exposed through
-// cmd/recycle-bench and the root-level benchmark harness.
-//
-// Absolute numbers differ from the paper's A100 cluster (the cost model is
-// analytic); the reproduced quantities are the comparative shapes — who
-// wins, by what factor, where OOM happens, where crossovers fall. See
-// EXPERIMENTS.md for paper-vs-measured values.
 package experiments
 
 import (
@@ -18,6 +9,7 @@ import (
 	"recycle/internal/config"
 	"recycle/internal/failure"
 	"recycle/internal/profile"
+	"recycle/internal/replay"
 	"recycle/internal/sim"
 )
 
@@ -49,41 +41,94 @@ func systemsFor(job config.Job) (rc *sim.ReCycle, all []sim.System, ff float64, 
 	return rc, all, ff, nil
 }
 
+// ReplaySummary is the compact, JSON-friendly digest of one replay.Result:
+// what recycle-bench -json carries per ReCycle cell instead of the full
+// per-event splice log.
+type ReplaySummary struct {
+	Iterations          int
+	Average             float64
+	StallSeconds        float64
+	LostSlots           int64
+	Events              int
+	SplicedMidIteration int
+	// MigratedTriples counts micro-batch triples that changed owners
+	// across all splices — ReCycle's measured state-movement volume.
+	MigratedTriples int
+}
+
+func summarizeReplay(r *replay.Result) ReplaySummary {
+	return ReplaySummary{
+		Iterations:          r.Iterations,
+		Average:             r.Average,
+		StallSeconds:        r.StallSeconds,
+		LostSlots:           r.LostSlots,
+		Events:              len(r.Events),
+		SplicedMidIteration: r.SplicedCount(),
+		MigratedTriples:     r.MigratedTriples,
+	}
+}
+
 // Table1Row is one (model, failure frequency) cell set of Table 1.
 type Table1Row struct {
 	Model     string
 	Frequency time.Duration
 	FaultFree float64
-	// Avg holds average samples/sec per system name; OOM marks systems
-	// that cannot run the model at all.
+	// Avg holds average samples/sec per system name; ReCycle's entry is
+	// the op-granularity replay average, the baselines' entries come from
+	// their scalar system models. OOM marks systems that cannot run the
+	// model at all.
 	Avg map[string]float64
 	OOM map[string]bool
+	// ReCycle summarizes the replay behind ReCycle's cell: iteration
+	// count, emergent stall, lost work and migrated micro-batch triples.
+	ReCycle ReplaySummary
 }
 
 // Table1 reproduces Table 1: average training throughput of ReCycle,
 // Oobleck, Bamboo (and the elastic/fault-scaled references) under
 // monotonic failures every 6h / 2h / 30m on the three GPT-3 jobs.
+// ReCycle's cells are computed by internal/replay — the monotonic trace
+// drives chained Program executions whose mid-iteration failures splice
+// the in-flight Program, so its stalls are the makespan of real lost and
+// re-planned instructions, the same ground truth as its own Fig 9. The
+// baselines keep their scalar models (their published reconfiguration
+// behavior, not ours).
 func Table1() ([]Table1Row, string, error) {
 	var rows []Table1Row
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 1: average throughput (samples/sec) under monotonic failures, 6h horizon\n")
+	fmt.Fprintf(&b, "(ReCycle cells replayed at op granularity via internal/replay; baselines scalar)\n")
 	for _, job := range config.Table1Jobs() {
 		_, systems, ff, err := systemsFor(job)
 		if err != nil {
 			return nil, "", fmt.Errorf("experiments: %s: %w", job.Model.Name, err)
 		}
+		eng, stats, err := ReplayEngine(job, nil)
+		if err != nil {
+			return nil, "", fmt.Errorf("experiments: %s: %w", job.Model.Name, err)
+		}
+		opts := ReplayOptions(job, stats)
 		fmt.Fprintf(&b, "\n%s (PP=%d DP=%d, fault-free %.2f)\n", job.Model.Name, job.Parallel.PP, job.Parallel.DP, ff)
 		fmt.Fprintf(&b, "  %-6s", "freq")
 		for _, s := range systems {
 			fmt.Fprintf(&b, " %12s", s.Name())
 		}
 		fmt.Fprintln(&b)
-		for _, freq := range []time.Duration{6 * time.Hour, 2 * time.Hour, 30 * time.Minute} {
+		for _, freq := range config.Table1Frequencies() {
 			tr := failure.Monotonic(job.Parallel.Workers(), freq, Horizon)
+			rep, err := replay.Replay(eng, tr, opts)
+			if err != nil {
+				return nil, "", fmt.Errorf("experiments: %s %s: %w", job.Model.Name, freq, err)
+			}
 			row := Table1Row{Model: job.Model.Name, Frequency: freq, FaultFree: ff,
-				Avg: map[string]float64{}, OOM: map[string]bool{}}
+				Avg: map[string]float64{}, OOM: map[string]bool{}, ReCycle: summarizeReplay(rep)}
+			row.Avg["ReCycle"] = rep.Average
 			fmt.Fprintf(&b, "  %-6s", shortDur(freq))
 			for _, s := range systems {
+				if s.Name() == "ReCycle" {
+					fmt.Fprintf(&b, " %12.2f", rep.Average)
+					continue
+				}
 				res := sim.Run(s, tr, Horizon)
 				if res.OOM {
 					row.OOM[s.Name()] = true
@@ -98,6 +143,19 @@ func Table1() ([]Table1Row, string, error) {
 		}
 	}
 	return rows, b.String(), nil
+}
+
+// Table1Cell recomputes one ReCycle cell of Table 1 from scratch: a fresh
+// replay engine (empty plan caches), the monotonic trace for freq, one
+// replay over the full horizon. Every step is deterministic, so two calls
+// agree event for event — the golden test pins that.
+func Table1Cell(job config.Job, freq time.Duration) (*replay.Result, error) {
+	eng, stats, err := ReplayEngine(job, nil)
+	if err != nil {
+		return nil, err
+	}
+	tr := failure.Monotonic(job.Parallel.Workers(), freq, Horizon)
+	return replay.Replay(eng, tr, ReplayOptions(job, stats))
 }
 
 func shortDur(d time.Duration) string {

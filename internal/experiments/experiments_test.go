@@ -49,7 +49,7 @@ func TestTable1Shapes(t *testing.T) {
 			// ReCycle matches or exceeds Oobleck; a 3% band absorbs the
 			// deep-pipeline (PP=8, DP=4) case where the behavioral Oobleck
 			// model is more favorable than the measured system (see
-			// EXPERIMENTS.md).
+			// EVALUATION.md).
 			if o := r.Avg["Oobleck"]; o > 0 && rc < o*0.97 {
 				t.Errorf("%s 30m: ReCycle %.2f more than 3%% below Oobleck %.2f", r.Model, rc, o)
 			}

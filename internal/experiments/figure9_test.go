@@ -63,12 +63,12 @@ func TestFigure9StallsAreEmergent(t *testing.T) {
 	}
 }
 
-// TestFigure9EngineCalibration checks the replay engines carry the
+// TestReplayEngineCalibration checks the replay engines carry the
 // calibrated stage scales where the layer split is uneven: the Fig 9 jobs
 // split evenly, but the Table 1 3.35B job must plan with imbalance.
-func TestFigure9EngineCalibration(t *testing.T) {
+func TestReplayEngineCalibration(t *testing.T) {
 	for _, job := range Figure9Jobs() {
-		eng, _, err := Figure9Engine(job)
+		eng, _, err := ReplayEngine(job, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,7 +77,7 @@ func TestFigure9EngineCalibration(t *testing.T) {
 		}
 	}
 	job := config.Table1Jobs()[1] // GPT-3 3.35B, PP=4, 30 layers
-	eng, stats, err := Figure9Engine(job)
+	eng, stats, err := ReplayEngine(job, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -90,10 +90,13 @@ func Figure9Jobs() []config.Job {
 	}
 }
 
-// Figure9Engine assembles the replay engine for one Fig 9 job: a
+// ReplayEngine assembles the op-granularity replay engine for a job: a
 // single-iteration planner (the chaining granularity) over the calibrated
 // cost model, so uneven layer splits replay with real stage imbalance.
-func Figure9Engine(job config.Job) (*engine.Engine, profile.Stats, error) {
+// techniques selects a subset of the ReCycle techniques for ablations
+// (nil plans with all of them) — every replay-driven experiment (Table 1,
+// Fig 9, Fig 11) goes through here.
+func ReplayEngine(job config.Job, techniques *engine.Techniques) (*engine.Engine, profile.Stats, error) {
 	stats, err := profile.Analytic(job)
 	if err != nil {
 		return nil, profile.Stats{}, err
@@ -102,15 +105,16 @@ func Figure9Engine(job config.Job) (*engine.Engine, profile.Stats, error) {
 	if err != nil {
 		return nil, profile.Stats{}, err
 	}
-	return engine.New(job, stats, engine.Options{UnrollIterations: 1, CostModel: cm}), stats, nil
+	opts := engine.Options{UnrollIterations: 1, CostModel: cm, Techniques: techniques}
+	return engine.New(job, stats, opts), stats, nil
 }
 
-// Figure9Options derives the replay event latencies from the same
+// ReplayOptions derives the replay event latencies from the same
 // quantities the scalar model used to charge analytically: a 5s detection
-// delay per failure, and one stage-parameter copy per re-join. Both now
+// delay per failure, and one stage-parameter copy per re-join. Both
 // surface as release floors whose cost emerges as idle instructions in
 // the spliced schedules.
-func Figure9Options(job config.Job, stats profile.Stats) replay.Options {
+func ReplayOptions(job config.Job, stats profile.Stats) replay.Options {
 	copySec := sim.StageCopySeconds(stats, job.Hardware)
 	return replay.Options{
 		Horizon:     Horizon,
@@ -137,11 +141,11 @@ func Figure9() ([]Figure9Result, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		eng, stats, err := Figure9Engine(job)
+		eng, stats, err := ReplayEngine(job, nil)
 		if err != nil {
 			return nil, "", err
 		}
-		rep, err := replay.Replay(eng, tr, Figure9Options(job, stats))
+		rep, err := replay.Replay(eng, tr, ReplayOptions(job, stats))
 		if err != nil {
 			return nil, "", fmt.Errorf("figure9: %s: %w", job.Model.Name, err)
 		}
@@ -229,30 +233,38 @@ type Fig11Row struct {
 }
 
 // Fig11 reproduces the technique ablation: average normalized throughput
-// under 30-minute failures with techniques enabled cumulatively.
+// under 30-minute failures with techniques enabled cumulatively. Every
+// bar is computed at op granularity — the fault-free denominator is one
+// compiled Program executed on the DES virtual clock, and the faulted
+// numerator replays the monotonic trace through internal/replay under
+// the same technique subset, so the ablation gap is made of real
+// schedule slots, not stall formulas.
 func Fig11() ([]Fig11Row, string, error) {
 	var rows []Fig11Row
 	var b strings.Builder
-	fmt.Fprintf(&b, "Fig 11: ablation, normalized avg throughput under 30m failures\n")
+	fmt.Fprintf(&b, "Fig 11: ablation, normalized avg throughput under 30m failures (op-granularity replay)\n")
 	fmt.Fprintf(&b, "%-14s %10s %11s %11s\n", "model", "adaptive", "+decoupled", "+staggered")
 	for _, job := range config.Table1Jobs() {
-		stats, err := profile.Analytic(job)
-		if err != nil {
-			return nil, "", err
-		}
 		avg := func(t engine.Techniques) (float64, error) {
-			rc := sim.NewReCycle(job, stats)
-			rc.Planner.Techniques = t
-			ff, err := rc.Throughput(0)
+			eng, stats, err := ReplayEngine(job, &t)
 			if err != nil {
 				return 0, err
 			}
-			tr := failure.Monotonic(job.Parallel.Workers(), 30*time.Minute, Horizon)
-			res := sim.Run(rc, tr, Horizon)
-			if res.Err != nil {
-				return 0, res.Err
+			prog, err := eng.ProgramFor(nil)
+			if err != nil {
+				return 0, err
 			}
-			return res.Average / ff, nil
+			ex, err := sim.ExecuteProgram(prog, sim.ProgramOptions{})
+			if err != nil {
+				return 0, err
+			}
+			ff := float64(job.Batch.GlobalBatch) / (float64(ex.Makespan) * stats.UnitSeconds)
+			tr := failure.Monotonic(job.Parallel.Workers(), 30*time.Minute, Horizon)
+			rep, err := replay.Replay(eng, tr, ReplayOptions(job, stats))
+			if err != nil {
+				return 0, err
+			}
+			return rep.Average / ff, nil
 		}
 		a, err := avg(engine.Techniques{AdaptivePipelining: true})
 		if err != nil {

@@ -1,6 +1,7 @@
 package failure
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -24,8 +25,28 @@ func TestMonotonic30mEndsAt20(t *testing.T) {
 	}
 }
 
+// TestMonotonicIdentities pins the retrofitted machine identities: the
+// monotonic workload retires the highest-numbered machine first, one per
+// step, and the trace validates as identified.
+func TestMonotonicIdentities(t *testing.T) {
+	tr := Monotonic(8, time.Hour, 3*time.Hour)
+	if !tr.Identified() {
+		t.Fatal("Monotonic trace carries no machine identities")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{nil, {7}, {6}, {5}}
+	for i, s := range tr.Steps {
+		if !reflect.DeepEqual([]int(s.Failed), want[i]) && !(len(s.Failed) == 0 && len(want[i]) == 0) {
+			t.Fatalf("step %d failed machines %v, want %v", i, s.Failed, want[i])
+		}
+	}
+}
+
 // TestGCPEnvelope checks the Fig 9a trace reconstruction: 24 workers,
-// minimum 15, with at least one re-join.
+// minimum 15, with at least one re-join, carrying consistent canonical
+// machine identities.
 func TestGCPEnvelope(t *testing.T) {
 	tr := GCP()
 	if err := tr.Validate(); err != nil {
@@ -36,6 +57,9 @@ func TestGCPEnvelope(t *testing.T) {
 	}
 	if got := tr.MinAvailable(); got != 15 {
 		t.Fatalf("min availability = %d, want 15", got)
+	}
+	if !tr.Identified() {
+		t.Fatal("GCP trace is not identified")
 	}
 	rejoins := 0
 	for i := 1; i < len(tr.Steps); i++ {
@@ -48,18 +72,114 @@ func TestGCPEnvelope(t *testing.T) {
 	}
 }
 
-// TestPoissonDeterministicAndValid property-checks the Poisson generator.
+// TestIdentifyCanonical pins the canonical identity rule: the highest
+// live machine fails first, the most recently failed machine re-joins
+// first, and initially-down machines are listed on the first step.
+func TestIdentifyCanonical(t *testing.T) {
+	tr := Trace{Name: "c", Total: 6, Steps: []Step{
+		{At: 0, Available: 5},
+		{At: time.Minute, Available: 3},
+		{At: 2 * time.Minute, Available: 4},
+		{At: 3 * time.Minute, Available: 6},
+	}}
+	id, err := tr.Identify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := id.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantFailed := [][]int{{5}, {4, 3}, nil, nil}
+	wantRejoined := [][]int{nil, nil, {3}, {4, 5}}
+	for i, s := range id.Steps {
+		if !sameInts(s.Failed, wantFailed[i]) || !sameInts(s.Rejoined, wantRejoined[i]) {
+			t.Fatalf("step %d identities failed=%v rejoined=%v, want %v / %v",
+				i, s.Failed, s.Rejoined, wantFailed[i], wantRejoined[i])
+		}
+	}
+	// Identify is idempotent: re-deriving the already-identified trace
+	// agrees event for event.
+	again, err := id.Identify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(id, again) {
+		t.Fatalf("Identify not idempotent:\n%+v\nvs\n%+v", id, again)
+	}
+}
+
+// TestValidateIdentities checks the identity consistency rules: IDs out of
+// range, double failures, re-joins of live machines, count mismatches and
+// partially identified traces are all rejected.
+func TestValidateIdentities(t *testing.T) {
+	base := func() Trace {
+		return Trace{Name: "v", Total: 4, Steps: []Step{
+			{At: 0, Available: 4},
+			{At: time.Minute, Available: 3, Failed: []int{3}},
+			{At: 2 * time.Minute, Available: 4, Rejoined: []int{3}},
+		}}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid identified trace rejected: %v", err)
+	}
+	cases := map[string]func(*Trace){
+		"id out of range":    func(tr *Trace) { tr.Steps[1].Failed = []int{4} },
+		"double failure":     func(tr *Trace) { tr.Steps[2].Rejoined = nil; tr.Steps[2].Failed = []int{3}; tr.Steps[2].Available = 2 },
+		"rejoin while up":    func(tr *Trace) { tr.Steps[2].Rejoined = []int{2} },
+		"count mismatch":     func(tr *Trace) { tr.Steps[1].Available = 2 },
+		"partial identities": func(tr *Trace) { tr.Steps[2].Rejoined = nil },
+	}
+	for name, mutate := range cases {
+		tr := base()
+		mutate(&tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: not rejected", name)
+		}
+	}
+	// "double failure" above re-fails machine 3 while it is down.
+	doubled := Trace{Name: "d", Total: 4, Steps: []Step{
+		{At: 0, Available: 4},
+		{At: time.Minute, Available: 3, Failed: []int{3}},
+		{At: 2 * time.Minute, Available: 2, Failed: []int{3}},
+	}}
+	if err := doubled.Validate(); err == nil {
+		t.Error("failing a down machine was not rejected")
+	}
+	// A t=0 re-join (even balanced by a same-step failure) would be
+	// dropped by Windows' first window and desynchronize the replayer's
+	// failure set.
+	zeroSwap := Trace{Name: "z", Total: 4, Steps: []Step{
+		{At: 0, Available: 4, Failed: []int{3}, Rejoined: []int{3}},
+	}}
+	if err := zeroSwap.Validate(); err == nil {
+		t.Error("first-step re-join was not rejected")
+	}
+}
+
+// TestCancelPairs checks the same-instant fail-and-repair normalization
+// of PoissonMachines: a machine appearing in both lists of one merged
+// step never effectively left, so the pair cancels and the others keep
+// their order.
+func TestCancelPairs(t *testing.T) {
+	f, r := cancelPairs([]int{3, 5}, []int{3, 1})
+	if !sameInts(f, []int{5}) || !sameInts(r, []int{1}) {
+		t.Fatalf("cancelPairs = %v / %v, want [5] / [1]", f, r)
+	}
+	f, r = cancelPairs([]int{2}, []int{4})
+	if !sameInts(f, []int{2}) || !sameInts(r, []int{4}) {
+		t.Fatalf("disjoint lists changed: %v / %v", f, r)
+	}
+}
+
+// TestPoissonDeterministicAndValid property-checks the fleet-level
+// Poisson generator: deterministic per seed, valid, and identified via
+// the canonical derivation.
 func TestPoissonDeterministicAndValid(t *testing.T) {
 	check := func(seed int64) bool {
 		a := Poisson(16, time.Hour, 30*time.Minute, 6*time.Hour, seed)
 		b := Poisson(16, time.Hour, 30*time.Minute, 6*time.Hour, seed)
-		if len(a.Steps) != len(b.Steps) {
+		if !reflect.DeepEqual(a, b) {
 			return false
-		}
-		for i := range a.Steps {
-			if a.Steps[i] != b.Steps[i] {
-				return false
-			}
 		}
 		return a.Validate() == nil
 	}
@@ -68,10 +188,70 @@ func TestPoissonDeterministicAndValid(t *testing.T) {
 	}
 }
 
+// TestPoissonMachinesDeterministic property-checks the per-machine
+// Poisson generator: two runs with one seed agree step for step
+// (including the machine identities), the trace validates as identified,
+// and different seeds produce different timelines.
+func TestPoissonMachinesDeterministic(t *testing.T) {
+	check := func(seed int64) bool {
+		a := PoissonMachines(16, 2*time.Hour, 30*time.Minute, 6*time.Hour, seed)
+		b := PoissonMachines(16, 2*time.Hour, 30*time.Minute, 6*time.Hour, seed)
+		if !reflect.DeepEqual(a, b) {
+			return false
+		}
+		if !a.Identified() {
+			return false
+		}
+		return a.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+	a := PoissonMachines(16, 2*time.Hour, 30*time.Minute, 6*time.Hour, 1)
+	b := PoissonMachines(16, 2*time.Hour, 30*time.Minute, 6*time.Hour, 2)
+	if reflect.DeepEqual(a.Steps, b.Steps) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestPoissonMachinesIdentityPreserving checks the headline property of
+// the per-machine processes: a machine that fails is the machine that
+// later repairs — every re-join names a machine that is actually down —
+// and with repair disabled each machine fails at most once, permanently.
+func TestPoissonMachinesIdentityPreserving(t *testing.T) {
+	tr := PoissonMachines(12, time.Hour, 20*time.Minute, 12*time.Hour, 42)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	repaired := 0
+	for _, s := range tr.Steps {
+		repaired += len(s.Rejoined)
+	}
+	if repaired == 0 {
+		t.Fatal("12h of 20m repairs produced no re-join")
+	}
+	perm := PoissonMachines(12, time.Hour, 0, 12*time.Hour, 42)
+	if err := perm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, s := range perm.Steps {
+		if len(s.Rejoined) > 0 {
+			t.Fatalf("repair disabled but machines re-joined at %v", s.At)
+		}
+		for _, id := range s.Failed {
+			if seen[id] {
+				t.Fatalf("machine %d failed twice with repair disabled", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
 // TestAverage checks time-weighted averaging.
 func TestAverage(t *testing.T) {
 	tr := Trace{Name: "t", Total: 10, Steps: []Step{
-		{0, 10}, {3 * time.Hour, 5},
+		{At: 0, Available: 10}, {At: 3 * time.Hour, Available: 5},
 	}}
 	if got := tr.Average(6 * time.Hour); got != 7.5 {
 		t.Fatalf("average = %v, want 7.5", got)
@@ -120,7 +300,7 @@ func TestAtMatchesLinearScan(t *testing.T) {
 // to the full fleet rather than panic or misindex.
 func TestAtBoundaries(t *testing.T) {
 	tr := Trace{Name: "b", Total: 8, Steps: []Step{
-		{0, 8}, {10 * time.Minute, 6}, {25 * time.Minute, 7},
+		{At: 0, Available: 8}, {At: 10 * time.Minute, Available: 6}, {At: 25 * time.Minute, Available: 7},
 	}}
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
@@ -181,11 +361,12 @@ func BenchmarkTraceAt(b *testing.B) {
 }
 
 // TestWindows checks the replayer's membership-window iterator: merged
-// no-op steps, correct deltas for failures vs re-joins, and horizon
-// clipping.
+// no-op steps, correct deltas and canonical machine identities for
+// failures vs re-joins, and horizon clipping.
 func TestWindows(t *testing.T) {
 	tr := Trace{Name: "w", Total: 8, Steps: []Step{
-		{0, 8}, {10 * time.Minute, 6}, {20 * time.Minute, 6}, {30 * time.Minute, 7},
+		{At: 0, Available: 8}, {At: 10 * time.Minute, Available: 6},
+		{At: 20 * time.Minute, Available: 6}, {At: 30 * time.Minute, Available: 7},
 	}}
 	ws, err := tr.Windows(time.Hour)
 	if err != nil {
@@ -193,16 +374,69 @@ func TestWindows(t *testing.T) {
 	}
 	want := []Window{
 		{Start: 0, End: 10 * time.Minute, Available: 8, Delta: 0},
-		{Start: 10 * time.Minute, End: 30 * time.Minute, Available: 6, Delta: -2},
-		{Start: 30 * time.Minute, End: time.Hour, Available: 7, Delta: 1},
+		{Start: 10 * time.Minute, End: 30 * time.Minute, Available: 6, Delta: -2, Failed: []int{7, 6}},
+		{Start: 30 * time.Minute, End: time.Hour, Available: 7, Delta: 1, Rejoined: []int{6}},
 	}
 	if len(ws) != len(want) {
 		t.Fatalf("got %d windows %v, want %d", len(ws), ws, len(want))
 	}
 	for i := range want {
-		if ws[i] != want[i] {
+		if !reflect.DeepEqual(ws[i], want[i]) {
 			t.Fatalf("window %d = %+v, want %+v", i, ws[i], want[i])
 		}
+	}
+}
+
+// TestWindowsIdentityStability checks that explicit machine identities
+// survive Windows unchanged — the replayer sees exactly the machines the
+// trace named, not a re-derivation — including on a same-availability
+// swap step that a count-only iterator would merge away.
+func TestWindowsIdentityStability(t *testing.T) {
+	tr := Trace{Name: "s", Total: 6, Steps: []Step{
+		{At: 0, Available: 6},
+		{At: time.Minute, Available: 5, Failed: []int{2}},
+		{At: 2 * time.Minute, Available: 5, Failed: []int{0}, Rejoined: []int{2}},
+		{At: 3 * time.Minute, Available: 6, Rejoined: []int{0}},
+	}}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := tr.Windows(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 4 {
+		t.Fatalf("got %d windows %v, want 4 (the swap step is a membership event)", len(ws), ws)
+	}
+	if !sameInts(ws[1].Failed, []int{2}) {
+		t.Fatalf("window 1 failed %v, want explicit [2] (not the canonical highest-ID pick)", ws[1].Failed)
+	}
+	if !sameInts(ws[2].Failed, []int{0}) || !sameInts(ws[2].Rejoined, []int{2}) || ws[2].Delta != 0 {
+		t.Fatalf("swap window = %+v, want failed [0] rejoined [2] delta 0", ws[2])
+	}
+	if !sameInts(ws[3].Rejoined, []int{0}) {
+		t.Fatalf("window 3 rejoined %v, want explicit [0]", ws[3].Rejoined)
+	}
+	// Stability across calls: the same trace windows identically.
+	again, err := tr.Windows(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ws, again) {
+		t.Fatal("Windows is not stable across calls")
+	}
+}
+
+// TestWindowsInitialDown checks that a trace starting below the fleet
+// total reports the initially-down machines on its first window.
+func TestWindowsInitialDown(t *testing.T) {
+	tr := Trace{Name: "i", Total: 4, Steps: []Step{{At: 0, Available: 2}}}
+	ws, err := tr.Windows(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1 || !sameInts(ws[0].Failed, []int{3, 2}) {
+		t.Fatalf("initial window = %+v, want machines [3 2] down from the outset", ws)
 	}
 }
 
@@ -214,7 +448,7 @@ func TestWindows(t *testing.T) {
 func TestWindowsBoundaries(t *testing.T) {
 	// Back-to-back events one nanosecond apart each produce a window.
 	bb := Trace{Name: "bb", Total: 4, Steps: []Step{
-		{0, 4}, {time.Minute, 3}, {time.Minute + time.Nanosecond, 2},
+		{At: 0, Available: 4}, {At: time.Minute, Available: 3}, {At: time.Minute + time.Nanosecond, Available: 2},
 	}}
 	ws, err := bb.Windows(time.Hour)
 	if err != nil {
@@ -243,12 +477,14 @@ func TestWindowsBoundaries(t *testing.T) {
 		t.Fatalf("clipped window wrong: %v", ws)
 	}
 	// A re-join past the fleet total is rejected.
-	over := Trace{Name: "over", Total: 4, Steps: []Step{{0, 4}, {time.Minute, 5}}}
+	over := Trace{Name: "over", Total: 4, Steps: []Step{{At: 0, Available: 4}, {At: time.Minute, Available: 5}}}
 	if _, err := over.Windows(time.Hour); err == nil {
 		t.Fatal("re-join past the fleet total was not rejected")
 	}
 	// Non-increasing timestamps are rejected.
-	dup := Trace{Name: "dup", Total: 4, Steps: []Step{{0, 4}, {time.Minute, 3}, {time.Minute, 2}}}
+	dup := Trace{Name: "dup", Total: 4, Steps: []Step{
+		{At: 0, Available: 4}, {At: time.Minute, Available: 3}, {At: time.Minute, Available: 2},
+	}}
 	if _, err := dup.Windows(time.Hour); err == nil {
 		t.Fatal("duplicate step instant was not rejected")
 	}
@@ -268,4 +504,17 @@ func TestFailureRate(t *testing.T) {
 	if got := FailureRate(10, 1); got != 1 {
 		t.Fatalf("nonzero rate must fail at least one worker, got %d", got)
 	}
+}
+
+// sameInts compares identity lists treating nil and empty as equal.
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

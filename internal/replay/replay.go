@@ -3,7 +3,6 @@ package replay
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"recycle/internal/engine"
@@ -27,15 +26,28 @@ type Options struct {
 	RejoinDelay time.Duration
 }
 
+// MachineWorker maps a trace machine identity (flat index in [0, DP×PP))
+// to the worker it hosts: consecutive identities walk the stages of one
+// pipeline — machine PP·k+s hosts stage s of pipeline k — so the
+// canonical highest-ID-first failure order of failure.Identify retires
+// machines pipeline by pipeline from the back and never empties a stage
+// until almost the whole fleet is gone.
+func MachineWorker(id, pp int) schedule.Worker {
+	return schedule.Worker{Stage: id % pp, Pipeline: id / pp}
+}
+
 // Event is one membership change the replayer spliced through.
 type Event struct {
 	// At is the event instant on the replayed wall clock.
 	At time.Duration
 	// Iteration is the index of the iteration the event interrupted.
 	Iteration int
-	// Kind is "fail" or "rejoin"; Workers lists the affected workers.
-	Kind    string
-	Workers []schedule.Worker
+	// Kind is "fail", "rejoin" or (for a same-instant exchange) "swap";
+	// Workers lists the affected workers, Machines the trace machine
+	// identities behind them, in the same order (failures first).
+	Kind     string
+	Workers  []schedule.Worker
+	Machines []int
 	// Available is the fleet size after the event.
 	Available int
 	// LostOps / LostSlots measure completed work discarded because its
@@ -43,8 +55,12 @@ type Event struct {
 	LostOps   int
 	LostSlots int64
 	// ReplannedOps is the size of the re-planned suffix, ReroutedOps how
-	// many of those moved to a different worker than originally planned.
-	ReplannedOps, ReroutedOps int
+	// many of those moved to a different worker than originally planned,
+	// and MigratedTriples how many whole micro-batch triples changed
+	// owners at the splice — the unit whose activation stash and
+	// weight-gradient store must move with it, ReCycle's analogue of a
+	// failure-normalization parameter migration.
+	ReplannedOps, ReroutedOps, MigratedTriples int
 	// ResumedMidIteration reports that the interrupted iteration kept its
 	// executed prefix and completed without restarting.
 	ResumedMidIteration bool
@@ -77,10 +93,13 @@ type Result struct {
 	Samples    float64
 	Average    float64
 	// StallSeconds totals the per-event emergent stalls; LostSlots totals
-	// discarded completed work. Both are sums over Events.
-	StallSeconds float64
-	LostSlots    int64
-	Events       []Event
+	// discarded completed work; MigratedTriples totals the micro-batch
+	// triples that changed owners across all splices. All are sums over
+	// Events.
+	StallSeconds    float64
+	LostSlots       int64
+	MigratedTriples int
+	Events          []Event
 }
 
 // Replay drives the whole availability trace through chained Program
@@ -88,8 +107,10 @@ type Result struct {
 // engine's Coordinator path, executed on the DES virtual clock; membership
 // changes that land inside an iteration splice the in-flight Program and
 // resume, so every stall in the result is the makespan of real lost or
-// re-planned instructions. The engine must plan single iterations
-// (UnrollIterations 1), the granularity the live runtime also chains at.
+// re-planned instructions. Failure victims and re-joiners come from the
+// trace's machine identities (MachineWorker), not from any heuristic. The
+// engine must plan single iterations (UnrollIterations 1), the
+// granularity the live runtime also chains at.
 func Replay(eng *engine.Engine, tr failure.Trace, opt Options) (*Result, error) {
 	job := eng.Job()
 	pl := eng.Planner()
@@ -116,36 +137,34 @@ func Replay(eng *engine.Engine, tr failure.Trace, opt Options) (*Result, error) 
 	res := &Result{Trace: tr.Name, Horizon: opt.Horizon}
 	horizonSec := opt.Horizon.Seconds()
 	const eps = 1e-9
+	pp := job.Parallel.PP
 	failed := make(map[schedule.Worker]bool)
-	var failStack []schedule.Worker
-	fail := func(k int) ([]schedule.Worker, error) {
-		ws, err := pickVictims(job.Parallel.DP, job.Parallel.PP, failed, k)
-		if err != nil {
-			return nil, err
-		}
-		for _, w := range ws {
+	applyFail := func(ids []int) ([]schedule.Worker, error) {
+		ws := make([]schedule.Worker, 0, len(ids))
+		for _, id := range ids {
+			w := MachineWorker(id, pp)
+			if failed[w] {
+				return nil, fmt.Errorf("replay: machine %d (%s) fails while already down", id, w)
+			}
 			failed[w] = true
-			failStack = append(failStack, w)
+			ws = append(ws, w)
 		}
 		return ws, nil
 	}
-	rejoin := func(k int) ([]schedule.Worker, error) {
-		if k > len(failStack) {
-			return nil, fmt.Errorf("replay: trace re-joins %d workers but only %d are down", k, len(failStack))
-		}
-		ws := make([]schedule.Worker, 0, k)
-		for i := 0; i < k; i++ { // most recently failed first
-			w := failStack[len(failStack)-1]
-			failStack = failStack[:len(failStack)-1]
+	applyRejoin := func(ids []int) ([]schedule.Worker, error) {
+		ws := make([]schedule.Worker, 0, len(ids))
+		for _, id := range ids {
+			w := MachineWorker(id, pp)
+			if !failed[w] {
+				return nil, fmt.Errorf("replay: machine %d (%s) re-joins while already up", id, w)
+			}
 			delete(failed, w)
 			ws = append(ws, w)
 		}
 		return ws, nil
 	}
-	if down := tr.Total - windows[0].Available; down > 0 {
-		if _, err := fail(down); err != nil {
-			return nil, err
-		}
+	if _, err := applyFail(windows[0].Failed); err != nil {
+		return nil, err
 	}
 
 	execCache := make(map[*schedule.Program]*sim.Execution)
@@ -172,25 +191,27 @@ func Replay(eng *engine.Engine, tr failure.Trace, opt Options) (*Result, error) 
 		// applies); a boundary re-join is free — the parameter copy
 		// overlaps the previous iteration (§3.4).
 		for wi+1 < len(windows) && windows[wi].End.Seconds() <= now+eps {
-			delta := windows[wi+1].Delta
+			next := windows[wi+1]
 			ev := Event{
 				At:        windows[wi].End,
 				Iteration: res.Iterations,
-				Available: windows[wi+1].Available,
+				Available: next.Available,
 			}
-			if delta < 0 {
-				ev.Kind = "fail"
-				if ev.Workers, err = fail(-delta); err != nil {
-					return nil, err
-				}
+			dying, err := applyFail(next.Failed)
+			if err != nil {
+				return nil, err
+			}
+			joining, err := applyRejoin(next.Rejoined)
+			if err != nil {
+				return nil, err
+			}
+			ev.Kind = eventKind(len(dying), len(joining))
+			ev.Workers = append(append(ev.Workers, dying...), joining...)
+			ev.Machines = append(append(ev.Machines, next.Failed...), next.Rejoined...)
+			if len(dying) > 0 {
 				ev.StallSeconds = opt.DetectDelay.Seconds()
 				res.StallSeconds += ev.StallSeconds
 				now += ev.StallSeconds
-			} else {
-				ev.Kind = "rejoin"
-				if ev.Workers, err = rejoin(delta); err != nil {
-					return nil, err
-				}
 			}
 			res.Events = append(res.Events, ev)
 			wi++
@@ -240,19 +261,14 @@ func Replay(eng *engine.Engine, tr failure.Trace, opt Options) (*Result, error) 
 			if cut < 1 {
 				cut = 1
 			}
-			delta := windows[wi+1].Delta
-			var dying, joining []schedule.Worker
-			var kind string
-			if delta < 0 {
-				kind = "fail"
-				if dying, err = fail(-delta); err != nil {
-					return nil, err
-				}
-			} else {
-				kind = "rejoin"
-				if joining, err = rejoin(delta); err != nil {
-					return nil, err
-				}
+			next := windows[wi+1]
+			dying, err := applyFail(next.Failed)
+			if err != nil {
+				return nil, err
+			}
+			joining, err := applyRejoin(next.Rejoined)
+			if err != nil {
+				return nil, err
 			}
 			cutOpts := sim.ProgramOptions{CutAt: cut, Done: done, ReleaseAt: floors}
 			if len(dying) > 0 {
@@ -266,14 +282,17 @@ func Replay(eng *engine.Engine, tr failure.Trace, opt Options) (*Result, error) 
 				return nil, err
 			}
 			release := make(map[schedule.Worker]int64)
-			if kind == "fail" {
+			if len(dying) > 0 {
 				floor := cut + toSlots(opt.DetectDelay)
 				for _, w := range curProg.Workers() {
 					release[w] = floor
 				}
-			} else if d := toSlots(opt.RejoinDelay); d > 0 {
+			}
+			if d := toSlots(opt.RejoinDelay); d > 0 {
 				for _, w := range joining {
-					release[w] = cut + d
+					if f := cut + d; f > release[w] {
+						release[w] = f
+					}
 				}
 			}
 			spl, err := Splice(SpliceInput{
@@ -285,23 +304,25 @@ func Replay(eng *engine.Engine, tr failure.Trace, opt Options) (*Result, error) 
 				return nil, err
 			}
 			ev := Event{
-				At:           time.Duration(eventSec * float64(time.Second)),
-				Iteration:    res.Iterations,
-				Kind:         kind,
-				Available:    windows[wi+1].Available,
-				LostOps:      spl.LostOps,
-				LostSlots:    spl.LostSlots,
-				ReplannedOps: spl.SuffixOps,
-				ReroutedOps:  spl.ReroutedOps,
+				At:              time.Duration(eventSec * float64(time.Second)),
+				Iteration:       res.Iterations,
+				Kind:            eventKind(len(dying), len(joining)),
+				Available:       next.Available,
+				LostOps:         spl.LostOps,
+				LostSlots:       spl.LostSlots,
+				ReplannedOps:    spl.SuffixOps,
+				ReroutedOps:     spl.ReroutedOps,
+				MigratedTriples: spl.MigratedTriples,
 			}
-			ev.Workers = append(ev.Workers, dying...)
-			ev.Workers = append(ev.Workers, joining...)
+			ev.Workers = append(append(ev.Workers, dying...), joining...)
+			ev.Machines = append(append(ev.Machines, next.Failed...), next.Rejoined...)
 			ev.ResumedMidIteration = spl.PrefixOps > 0
 			ev.StallSeconds = math.Max(0, float64(spl.EndSlot-expectEnd)*unit)
 			expectEnd = spl.EndSlot
 			res.Events = append(res.Events, ev)
 			res.StallSeconds += ev.StallSeconds
 			res.LostSlots += spl.LostSlots
+			res.MigratedTriples += spl.MigratedTriples
 			wi++
 			curProg, done, floors = spl.Program, spl.Done, spl.Floors
 			endSec = iterStart + float64(spl.EndSlot)*unit
@@ -321,60 +342,15 @@ func Replay(eng *engine.Engine, tr failure.Trace, opt Options) (*Result, error) 
 	return res, nil
 }
 
-// pickVictims chooses k live workers to fail, spreading failures across
-// stages the way Failure Normalization would (fewest-failed stage first)
-// and never killing a stage's last live worker. Within a stage the
-// highest-numbered live pipeline dies — a deterministic stand-in for the
-// trace's unnamed machine identities.
-func pickVictims(dp, pp int, failed map[schedule.Worker]bool, k int) ([]schedule.Worker, error) {
-	downPer := make([]int, pp)
-	for w := range failed {
-		if failed[w] {
-			downPer[w.Stage]++
-		}
+// eventKind names a membership event by what changed: a failure, a
+// re-join, or a same-instant exchange of machines.
+func eventKind(fails, rejoins int) string {
+	switch {
+	case fails > 0 && rejoins > 0:
+		return "swap"
+	case fails > 0:
+		return "fail"
+	default:
+		return "rejoin"
 	}
-	var out []schedule.Worker
-	for len(out) < k {
-		stage := -1
-		for s := 0; s < pp; s++ {
-			if downPer[s] >= dp-1 {
-				continue // keep at least one live peer per stage
-			}
-			if stage < 0 || downPer[s] < downPer[stage] {
-				stage = s
-			}
-		}
-		if stage < 0 {
-			return nil, fmt.Errorf("replay: cannot fail %d more workers without emptying a stage", k-len(out))
-		}
-		victim := schedule.Worker{Stage: stage, Pipeline: -1}
-		for p := dp - 1; p >= 0; p-- {
-			w := schedule.Worker{Stage: stage, Pipeline: p}
-			if !failed[w] && !contains(out, w) {
-				victim = w
-				break
-			}
-		}
-		if victim.Pipeline < 0 {
-			return nil, fmt.Errorf("replay: no live worker left at stage %d", stage)
-		}
-		out = append(out, victim)
-		downPer[stage]++
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Stage != out[j].Stage {
-			return out[i].Stage < out[j].Stage
-		}
-		return out[i].Pipeline < out[j].Pipeline
-	})
-	return out, nil
-}
-
-func contains(ws []schedule.Worker, w schedule.Worker) bool {
-	for _, x := range ws {
-		if x == w {
-			return true
-		}
-	}
-	return false
 }

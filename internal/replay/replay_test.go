@@ -160,6 +160,83 @@ func TestReplayStallsEmergeFromLostWork(t *testing.T) {
 	}
 }
 
+// TestReplayIdentityRoundTrip pins the retrofitted machine identities end
+// to end: the victims a replay splices out (and the machines it splices
+// back in) are exactly the identities the trace's windows carry, in
+// order, with workers derived by MachineWorker — no victim-selection
+// heuristic anywhere. Monotonic and GCP both round-trip.
+func TestReplayIdentityRoundTrip(t *testing.T) {
+	check := func(t *testing.T, eng *engine.Engine, tr failure.Trace, horizon time.Duration) {
+		t.Helper()
+		res, err := Replay(eng, tr, Options{Horizon: horizon, DetectDelay: 2 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		windows, err := tr.Windows(horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Events) != len(windows)-1 {
+			t.Fatalf("replay saw %d events, trace has %d membership changes", len(res.Events), len(windows)-1)
+		}
+		pp := eng.Job().Parallel.PP
+		for i, ev := range res.Events {
+			w := windows[i+1]
+			want := append(append([]int(nil), w.Failed...), w.Rejoined...)
+			if !reflect.DeepEqual(ev.Machines, want) {
+				t.Fatalf("event %d machines %v, trace window says %v", i, ev.Machines, want)
+			}
+			for j, id := range ev.Machines {
+				if got := MachineWorker(id, pp); ev.Workers[j] != got {
+					t.Fatalf("event %d worker %v for machine %d, want %v", i, ev.Workers[j], id, got)
+				}
+			}
+		}
+	}
+	t.Run("monotonic", func(t *testing.T) {
+		tr := failure.Monotonic(12, 90*time.Second, 10*time.Minute)
+		check(t, testEngine(t), tr, 10*time.Minute)
+	})
+	t.Run("gcp", func(t *testing.T) {
+		job, stats := engine.ShapeJob(3, 8, 8) // 24 unit-cost workers, the GCP fleet size
+		eng := engine.New(job, stats, engine.Options{UnrollIterations: 1})
+		check(t, eng, failure.GCP(), 2*time.Hour)
+	})
+}
+
+// TestReplayMigrationsReported checks the migration metric: a
+// mid-iteration failure moves at least one whole micro-batch triple to a
+// peer, the per-event counts sum to the result total, and triples only
+// migrate where ops were re-routed.
+func TestReplayMigrationsReported(t *testing.T) {
+	m := func(s int) time.Duration { return time.Duration(s) * time.Second }
+	tr := failure.Trace{
+		Name:  "two-fails",
+		Total: 12,
+		Steps: []failure.Step{{At: 0, Available: 12}, {At: m(151), Available: 11}, {At: m(313), Available: 10}},
+	}
+	res, err := Replay(testEngine(t), tr, Options{Horizon: 10 * time.Minute, DetectDelay: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MigratedTriples == 0 {
+		t.Fatal("mid-iteration failures migrated no micro-batch triples")
+	}
+	sum := 0
+	for _, ev := range res.Events {
+		sum += ev.MigratedTriples
+		if ev.MigratedTriples > 0 && ev.ReroutedOps == 0 {
+			t.Fatalf("event at %v migrated %d triples without re-routing any op", ev.At, ev.MigratedTriples)
+		}
+		if ev.ReroutedOps > 0 && ev.MigratedTriples == 0 {
+			t.Fatalf("event at %v re-routed %d ops but reports no migrated triple", ev.At, ev.ReroutedOps)
+		}
+	}
+	if sum != res.MigratedTriples {
+		t.Fatalf("migrated triples %d != sum over events %d", res.MigratedTriples, sum)
+	}
+}
+
 // TestReplayRejectsUnrolledEngine pins the chaining granularity contract.
 func TestReplayRejectsUnrolledEngine(t *testing.T) {
 	job, stats := engine.ShapeJob(2, 2, 4)

@@ -73,6 +73,12 @@ type Spliced struct {
 	// to a different worker than the original plan chose.
 	PrefixOps, LostOps, SuffixOps, ReroutedOps int
 	LostSlots                                  int64
+	// MigratedTriples counts whole micro-batch triples whose remaining work
+	// moved to a different worker than the in-flight program assigned —
+	// the unit of state movement (the activation stash and weight-gradient
+	// store travel with the triple), ReCycle's measured analogue of a
+	// failure-normalization parameter migration.
+	MigratedTriples int
 }
 
 // tripleKey identifies the F/BInput/BWeight group of one micro-batch at
@@ -283,12 +289,17 @@ func Splice(in SpliceInput) (*Spliced, error) {
 				exec = best
 			}
 		}
+		migrated := false
 		for _, nd := range nodes {
 			nd.op.Exec = exec
 			loads[schedule.Worker{Stage: k.stage, Pipeline: exec}] += dur(nd.op.Worker(), nd.op.Type)
 			if nd.op.Exec != nd.oldExec {
 				out.ReroutedOps++
+				migrated = true
 			}
+		}
+		if migrated {
+			out.MigratedTriples++
 		}
 	}
 

@@ -93,7 +93,7 @@ func (r *ReCycle) Throughput(failed int) (float64, error) {
 // — the per-failure migration charge of Failure Normalization and the
 // re-join parameter-restore latency. One shared definition keeps the
 // scalar baseline model and the op-granularity replayer
-// (experiments.Figure9Options) comparable.
+// (experiments.ReplayOptions) comparable.
 func StageCopySeconds(stats profile.Stats, hw config.Hardware) float64 {
 	return float64(stats.Memory.StaticBytes) / 8 / hw.InterLinkBytesPerSec
 }

@@ -63,7 +63,7 @@ func TestFig3bAdaptiveCoupled(t *testing.T) {
 		t.Fatalf("adaptive coupled makespan = %d, want in (27, 36]", got)
 	}
 	if got != 34 {
-		t.Errorf("adaptive coupled makespan = %d, pinned value 34 changed — update EXPERIMENTS.md if intentional", got)
+		t.Errorf("adaptive coupled makespan = %d, pinned value 34 changed — update EVALUATION.md if intentional", got)
 	}
 	if err := schedule.Validate(s, schedule.ValidateConfig{}); err != nil {
 		t.Fatal(err)

@@ -1,21 +1,33 @@
 #!/usr/bin/env bash
-# check_docs.sh — docs-consistency gate: fail when README.md or
-# ARCHITECTURE.md reference a package directory that no longer exists, or
-# when the README flag reference and the cmd/ binaries disagree (a flag
-# documented but not defined, or defined but not documented).
+# check_docs.sh — docs-consistency gate: fail when README.md,
+# ARCHITECTURE.md or EVALUATION.md reference a package directory that no
+# longer exists, when EVALUATION.md names an experiments entry point that
+# is not a defined function, or when the README flag reference and the
+# cmd/ binaries disagree (a flag documented but not defined, or defined
+# but not documented).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 fail=0
 
 # 1. Every internal/..., cmd/..., examples/... path mentioned in the docs
 #    must be a real directory.
-for doc in README.md ARCHITECTURE.md; do
+for doc in README.md ARCHITECTURE.md EVALUATION.md; do
   for pkg in $(grep -oE '(internal|cmd|examples)/[a-z0-9_-]+' "$doc" | sort -u); do
     if [ ! -d "$pkg" ]; then
       echo "$doc references missing package directory: $pkg"
       fail=1
     fi
   done
+done
+
+# 1b. Every `experiments.X` entry point EVALUATION.md names must be a
+#     defined function of internal/experiments (the evaluation map may
+#     only point at real, runnable entry points).
+for fn in $(grep -oE 'experiments\.[A-Za-z0-9_]+' EVALUATION.md | sed 's/experiments\.//' | sort -u); do
+  if ! grep -qE "^func $fn\(" internal/experiments/*.go; then
+    echo "EVALUATION.md names experiments.$fn but internal/experiments defines no such function"
+    fail=1
+  fi
 done
 
 # 2. Every flag documented in README's reference tables (between the
@@ -34,22 +46,34 @@ for f in $flags; do
 done
 
 # 3. Conversely, every flag a cmd binary defines must be documented.
+# (grep reads a here-string, not a pipe: grep -q exiting early would
+# SIGPIPE the producer and, under pipefail, randomly flag documented
+# flags as missing.)
 defined=$(grep -hroE 'flag\.[A-Za-z0-9]+\("[a-z0-9-]+"' cmd/ |
   sed -E 's/.*\("([a-z0-9-]+)"/\1/' | sort -u)
 for f in $defined; do
-  if ! printf '%s\n' $flags | grep -qx "$f"; then
+  if ! grep -qx "$f" <<<"$flags"; then
     echo "cmd binary defines flag -$f but README does not document it"
     fail=1
   fi
 done
 
-# 4. The README must link the architecture document.
+# 4. The README must link the architecture and evaluation documents, and
+#    ARCHITECTURE must link the evaluation map.
 if ! grep -q 'ARCHITECTURE.md' README.md; then
   echo "README.md does not link ARCHITECTURE.md"
   fail=1
 fi
+if ! grep -q 'EVALUATION.md' README.md; then
+  echo "README.md does not link EVALUATION.md"
+  fail=1
+fi
+if ! grep -q 'EVALUATION.md' ARCHITECTURE.md; then
+  echo "ARCHITECTURE.md does not link EVALUATION.md"
+  fail=1
+fi
 
 if [ "$fail" -eq 0 ]; then
-  echo "docs check OK: $(printf '%s\n' $flags | wc -l | tr -d ' ') flags documented, all package references resolve"
+  echo "docs check OK: $(printf '%s\n' $flags | wc -l | tr -d ' ') flags documented, all package references and experiment entry points resolve"
 fi
 exit $fail
