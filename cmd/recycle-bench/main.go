@@ -32,11 +32,16 @@ type report struct {
 	// triples that changed owners at splices) against the scalar
 	// failure-normalization restart charge for the Table 1 workloads.
 	Migration []experiments.MigrationRow
+	// Solver measures the incremental warm-start machinery (PlanAll
+	// re-derivation, equivalence-class dedup, recalibration re-plans) —
+	// the section the CI bench-smoke job gates on.
+	Solver []experiments.SolverRow
 }
 
 func main() {
 	fig13 := flag.Bool("fig13", false, "include the (slow) planner-latency heat map")
 	asJSON := flag.Bool("json", false, "emit the structured results as JSON on stdout")
+	solverOnly := flag.Bool("solver", false, "run only the solver warm-start benchmark (fast; the CI bench-smoke mode)")
 	flag.Parse()
 
 	var rep report
@@ -48,6 +53,19 @@ func main() {
 		if !*asJSON {
 			fmt.Println(s)
 		}
+	}
+
+	if *solverOnly {
+		var t string
+		rep.Solver, t, err = experiments.SolverBench()
+		check(err)
+		emit(t)
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			check(enc.Encode(struct{ Solver []experiments.SolverRow }{rep.Solver}))
+		}
+		return
 	}
 
 	rep.Gallery, err = experiments.Gallery()
@@ -98,6 +116,10 @@ func main() {
 	if !*fig13 {
 		emit("(run with -fig13 for the full 6x5 grid)")
 	}
+
+	rep.Solver, t, err = experiments.SolverBench()
+	check(err)
+	emit(t)
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

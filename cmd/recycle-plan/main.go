@@ -75,6 +75,8 @@ func main() {
 	fmt.Printf("planner latency: %s\n", plan.PlanTime)
 	m := eng.Metrics()
 	fmt.Printf("plan service: %d solves, %d cache hits, %d store hits\n", m.Solves, m.CacheHits, m.StoreHits)
+	fmt.Printf("solver paths: %d warm hits, %d warm replays, %d scratch, %d class dedups\n",
+		m.WarmHits, m.WarmReplays, m.ScratchSolves, m.ClassDedups)
 	if *render {
 		fmt.Println()
 		fmt.Println(schedule.Render(plan.Schedule, 5))

@@ -48,7 +48,23 @@ type Plan struct {
 	PeriodSlots int64
 	// PlanTime is how long the Planner spent generating this plan.
 	PlanTime time.Duration
+	// Hint is the solver's warm-start package for this plan's instance —
+	// the schedule plus the routing and toggles it was solved under. It
+	// lives only in memory (the engine codec does not serialize it, so
+	// store-decoded plans carry nil) and feeds PlanForHinted /
+	// PlanConcreteHinted on the next solve of the same configuration.
+	Hint *solver.Hint `json:"-"`
+	// SolveKind records how the schedule was derived: SolveScratch,
+	// SolveWarmIdentical or SolveWarmReplay.
+	SolveKind string `json:"-"`
 }
+
+// SolveKind values stamped into Plan.SolveKind (solver.SolveKind.String()).
+const (
+	SolveScratch       = "scratch"
+	SolveWarmIdentical = "warm-identical"
+	SolveWarmReplay    = "warm-replay"
+)
 
 // Planner generates and caches adaptive schedules for one job.
 type Planner struct {
@@ -91,6 +107,17 @@ func (p *Planner) shape() schedule.Shape {
 // failures. Failure locations are normalized (Algorithm 1), so one plan
 // serves any concrete failure set of that size.
 func (p *Planner) PlanFor(failures int) (*Plan, error) {
+	return p.PlanForHinted(failures, nil)
+}
+
+// PlanForHinted is PlanFor warm-started by a previous plan of the same
+// failure count. Normalization is deterministic, so the previous plan's
+// failed set matches the new one exactly; the solver then validates or
+// replays the previous schedule instead of re-deriving it, unless the
+// planner's configuration drifted incompatibly (in which case the hint is
+// ignored and the solve falls back to scratch — passing a stale plan is
+// always safe and never yields a worse makespan).
+func (p *Planner) PlanForHinted(failures int, prev *Plan) (*Plan, error) {
 	if failures < 0 {
 		return nil, fmt.Errorf("core: negative failure count %d", failures)
 	}
@@ -103,7 +130,7 @@ func (p *Planner) PlanFor(failures int) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.solve(sh, assign, AssignmentWorkers(assign, sh.DP), start)
+	return p.solve(sh, assign, AssignmentWorkers(assign, sh.DP), start, hintOf(prev))
 }
 
 // PlanConcrete generates the adaptive plan for a specific failed-worker
@@ -113,6 +140,12 @@ func (p *Planner) PlanFor(failures int) (*Plan, error) {
 // meaningful); the figure gallery uses it to reproduce the paper's running
 // example with worker W1_2 failed.
 func (p *Planner) PlanConcrete(failed []schedule.Worker) (*Plan, error) {
+	return p.PlanConcreteHinted(failed, nil)
+}
+
+// PlanConcreteHinted is PlanConcrete warm-started by a previous plan for
+// the same failed-worker set (same hint semantics as PlanForHinted).
+func (p *Planner) PlanConcreteHinted(failed []schedule.Worker, prev *Plan) (*Plan, error) {
 	sh := p.shape()
 	assign := make([]int, sh.PP)
 	seen := make(map[schedule.Worker]bool, len(failed))
@@ -128,8 +161,22 @@ func (p *Planner) PlanConcrete(failed []schedule.Worker) (*Plan, error) {
 	}
 	ws := append([]schedule.Worker(nil), failed...)
 	SortWorkers(ws)
-	return p.solve(sh, assign, ws, time.Now())
+	return p.solve(sh, assign, ws, time.Now(), hintOf(prev))
 }
+
+// hintOf extracts a plan's warm-start hint (nil-safe; store-decoded plans
+// carry no hint and degrade to scratch solves).
+func hintOf(prev *Plan) *solver.Hint {
+	if prev == nil {
+		return nil
+	}
+	return prev.Hint
+}
+
+// Shape returns the schedule shape the planner solves at: the job geometry
+// plus the unroll window. The engine uses it to canonicalize victim sets
+// before keying its caches.
+func (p *Planner) Shape() schedule.Shape { return p.shape() }
 
 // SortWorkers orders workers canonically by (stage, pipeline). It
 // delegates to schedule.SortWorkers, the single definition of the order;
@@ -139,7 +186,7 @@ func SortWorkers(ws []schedule.Worker) { schedule.SortWorkers(ws) }
 // solve runs the schedule generation phase shared by PlanFor and
 // PlanConcrete: the failed-worker set is fixed, the techniques translate
 // into solver toggles, and the result is wrapped into a Plan.
-func (p *Planner) solve(sh schedule.Shape, assign []int, failed []schedule.Worker, start time.Time) (*Plan, error) {
+func (p *Planner) solve(sh schedule.Shape, assign []int, failed []schedule.Worker, start time.Time, hint *solver.Hint) (*Plan, error) {
 	if !p.Techniques.AdaptivePipelining && len(failed) > 0 {
 		return nil, fmt.Errorf("core: %d failures but Adaptive Pipelining disabled — no recovery path without spares", len(failed))
 	}
@@ -164,8 +211,9 @@ func (p *Planner) solve(sh schedule.Shape, assign []int, failed []schedule.Worke
 		// naively into the 1F1B skeleton (the Fig 3b behavior the Fig 11
 		// ablation measures as "Adaptive Pipelining" alone).
 		Naive: !p.Techniques.DecoupledBackProp,
+		Hint:  hint,
 	}
-	s, err := solver.Solve(in)
+	s, info, err := solver.SolveInstrumented(in)
 	if err != nil {
 		return nil, err
 	}
@@ -176,6 +224,8 @@ func (p *Planner) solve(sh schedule.Shape, assign []int, failed []schedule.Worke
 		Schedule:    s,
 		PeriodSlots: s.SteadyPeriod(),
 		PlanTime:    time.Since(start),
+		Hint:        info.Hint,
+		SolveKind:   info.Kind.String(),
 	}, nil
 }
 

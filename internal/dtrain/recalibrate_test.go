@@ -1,0 +1,72 @@
+package dtrain
+
+import (
+	"testing"
+	"time"
+
+	"recycle/internal/schedule"
+)
+
+// TestRuntimeRecalibrate closes the measured → cost-model loop from the
+// runtime side: real (noisy, wall-clock) measurements flow through
+// Runtime.Recalibrate without error, and a synthetic skew injected on top
+// of them recalibrates the engine's cost model and re-plans — with
+// training still bitwise-equal to the fault-free reference afterwards.
+func TestRuntimeRecalibrate(t *testing.T) {
+	ref := New(smallConfig())
+	rt := New(smallConfig())
+	for i := 0; i < 2; i++ {
+		want, err := ref.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rt.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != got {
+			t.Fatalf("iter %d: adapted loss %v != reference %v", i, got, want)
+		}
+	}
+
+	// Wall-clock measurements on a loaded host can carry arbitrary skew,
+	// so the no-drift case cannot be asserted — only that the loop runs.
+	if _, err := rt.Recalibrate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A deterministic 50% skew on one worker must recalibrate.
+	measured := rt.MeasuredWorkerTimes()
+	if len(measured) == 0 {
+		t.Fatal("no measured worker times after two iterations")
+	}
+	uniform := make(map[schedule.Worker]time.Duration, len(measured))
+	for w := range measured {
+		uniform[w] = 10 * time.Millisecond
+	}
+	slow := schedule.Worker{Stage: 2, Pipeline: 1}
+	uniform[slow] = 15 * time.Millisecond
+	rec, err := rt.eng.Recalibrate(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Drifted {
+		t.Fatalf("50%% skew did not recalibrate: %+v", rec)
+	}
+	if f := rec.Applied[slow]; f <= 1 {
+		t.Fatalf("slow worker multiplier %v, want > 1 (applied %v)", f, rec.Applied)
+	}
+
+	// Training under the recalibrated plan stays bitwise-correct.
+	want, err := ref.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rt.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != got {
+		t.Fatalf("post-recalibration loss %v != reference %v", got, want)
+	}
+}

@@ -664,6 +664,16 @@ func (rt *Runtime) MeasuredWorkerTimes() map[schedule.Worker]time.Duration {
 	return out
 }
 
+// Recalibrate folds the runtime's measured per-worker compute times into
+// the engine's cost model (engine.Recalibrate): workers whose measured
+// time drifts from the model beyond the engine's threshold get updated
+// multipliers, and the previously planned failure counts are re-solved
+// warm under the new model. Call it between iterations — after enough
+// compute ops have been timed for the means to be meaningful.
+func (rt *Runtime) Recalibrate() (engine.Recalibration, error) {
+	return rt.eng.Recalibrate(rt.MeasuredWorkerTimes())
+}
+
 // MeasuredTimes returns the mean wall-clock duration per op type observed
 // so far — the live runtime's Profiler output, used by the Table 2
 // sim-fidelity experiment.

@@ -32,6 +32,10 @@ type Options struct {
 	// worker) durations). Nil plans with the homogeneous profiled stats.
 	// Straggler observations retune it at runtime via MarkStraggler.
 	CostModel *profile.CostModel
+	// RecalibrateThreshold is the relative drift between measured and
+	// modeled per-worker compute times below which Recalibrate leaves the
+	// cost model untouched (0 selects DefaultRecalibrateThreshold).
+	RecalibrateThreshold float64
 }
 
 // Metrics is a snapshot of the engine's plan-traffic counters.
@@ -44,6 +48,16 @@ type Metrics struct {
 	StoreErrors uint64 // store reads/writes that lost quorum or misparsed
 	Compiles    uint64 // schedule→Program lowerings performed
 	ProgramHits uint64 // Programs served from the compiled cache
+
+	// Solver-path split of Solves: warm-start hits (the hint's schedule
+	// validated as-is), warm replays (the hint's op order re-timed and it
+	// beat scratch), and scratch solves. Warm+Replay+Scratch == Solves.
+	WarmHits      uint64
+	WarmReplays   uint64
+	ScratchSolves uint64
+	// ClassDedups counts concrete plan requests answered by renaming a
+	// cost-equivalence-class representative instead of solving.
+	ClassDedups uint64
 }
 
 // call is one in-flight solve that concurrent requesters coalesce onto.
@@ -71,10 +85,32 @@ type Engine struct {
 	// keyed by schedule identity (plans are cached, so one plan's schedule
 	// is one pointer for the engine's lifetime).
 	programs map[*schedule.Schedule]*schedule.Program
+	// encoded caches a plan's wire encoding by schedule identity:
+	// schedules are immutable, so a warm-hit re-solve that returns the
+	// same schedule can re-persist under its new key namespace without
+	// paying the JSON encode again. (The cached bytes carry the metadata
+	// of the solve that first produced the schedule — in particular its
+	// PlanTime — which is exactly the provenance a stored plan reports.)
+	encoded map[*schedule.Schedule][]byte
+	// hintsN / hintsC retain the last successfully solved plan per
+	// normalized failure count and per concrete victim key, across
+	// fingerprints: hints deliberately cross cost-model namespaces, which
+	// is what makes the re-solve after a recalibration warm instead of
+	// scratch. Store-decoded plans carry no hint and are not retained.
+	hintsN map[int]*core.Plan
+	hintsC map[string]*core.Plan
+	// plannedN remembers which normalized counts have been requested, so
+	// Recalibrate re-solves exactly the working set.
+	plannedN map[int]bool
 
-	cacheHits, storeHits, bestHits atomic.Uint64
-	solves, coalesced, storeErrs   atomic.Uint64
-	compiles, programHits          atomic.Uint64
+	cacheHits, storeHits, bestHits       atomic.Uint64
+	solves, coalesced, storeErrs         atomic.Uint64
+	compiles, programHits                atomic.Uint64
+	warmHits, warmReplays, scratchSolves atomic.Uint64
+	classDedups                          atomic.Uint64
+
+	// recalThreshold is the Recalibrate no-op band (Options.RecalibrateThreshold).
+	recalThreshold float64
 
 	// fps memoizes job fingerprints per (techniques, unroll) pair.
 	fps fpCache
@@ -98,14 +134,23 @@ func New(job config.Job, stats profile.Stats, opts Options) *Engine {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	threshold := opts.RecalibrateThreshold
+	if threshold <= 0 {
+		threshold = DefaultRecalibrateThreshold
+	}
 	return &Engine{
-		planner:  planner,
-		store:    store,
-		workers:  workers,
-		cache:    make(map[string]*core.Plan),
-		inflight: make(map[string]*call),
-		norm:     make(map[string]*core.PlanStore),
-		programs: make(map[*schedule.Schedule]*schedule.Program),
+		planner:        planner,
+		store:          store,
+		workers:        workers,
+		cache:          make(map[string]*core.Plan),
+		inflight:       make(map[string]*call),
+		norm:           make(map[string]*core.PlanStore),
+		programs:       make(map[*schedule.Schedule]*schedule.Program),
+		encoded:        make(map[*schedule.Schedule][]byte),
+		hintsN:         make(map[int]*core.Plan),
+		hintsC:         make(map[string]*core.Plan),
+		plannedN:       make(map[int]bool),
+		recalThreshold: threshold,
 	}
 }
 
@@ -213,6 +258,11 @@ func (e *Engine) Metrics() Metrics {
 		StoreErrors: e.storeErrs.Load(),
 		Compiles:    e.compiles.Load(),
 		ProgramHits: e.programHits.Load(),
+
+		WarmHits:      e.warmHits.Load(),
+		WarmReplays:   e.warmReplays.Load(),
+		ScratchSolves: e.scratchSolves.Load(),
+		ClassDedups:   e.classDedups.Load(),
 	}
 }
 
@@ -235,24 +285,120 @@ func (e *Engine) MigrationsNeeded(concrete []schedule.Worker, p *core.Plan) int 
 }
 
 // Plan returns the normalized plan for n simultaneous failures:
-// in-process cache, then replicated store, then one coalesced solve.
+// in-process cache, then replicated store, then one coalesced solve. The
+// solve is warm-started by the last plan this engine derived for the same
+// count (under any cost model — see hintsN), so a re-solve after a cache
+// invalidation or a recalibration validates or replays the previous
+// schedule instead of re-deriving it.
 func (e *Engine) Plan(n int) (*core.Plan, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("engine: negative failure count %d", n)
 	}
 	pl := e.snapshot()
 	fp := e.fps.of(pl)
-	return e.getOrSolve(normKey(fp, n), fp, true, func() (*core.Plan, error) { return pl.PlanFor(n) })
+	p, err := e.getOrSolve(normKey(fp, n), fp, true, func() (*core.Plan, error) {
+		return pl.PlanForHinted(n, e.hintNorm(n))
+	})
+	if err == nil {
+		e.noteNorm(n, p)
+	}
+	return p, err
 }
 
 // PlanConcrete returns the plan for one specific failed-worker set,
-// bypassing failure normalization. Same get-or-solve lifecycle as Plan.
+// bypassing failure normalization. Victim sets that are pipeline
+// permutations of each other within cost-equivalence classes share one
+// solve: the set is canonicalized first, the canonical representative is
+// fetched or solved (same get-or-solve lifecycle as Plan), and its plan is
+// renamed back onto the requested pipelines — an exact isomorph, since
+// interchangeable pipelines run every op at identical cost.
 func (e *Engine) PlanConcrete(failed []schedule.Worker) (*core.Plan, error) {
 	ws := append([]schedule.Worker(nil), failed...)
 	core.SortWorkers(ws)
 	pl := e.snapshot()
 	fp := e.fps.of(pl)
-	return e.getOrSolve(concreteKey(fp, ws), fp, false, func() (*core.Plan, error) { return pl.PlanConcrete(ws) })
+	key := concreteKey(fp, ws)
+
+	var costs schedule.CostFunc
+	if pl.Costs != nil {
+		costs = pl.Costs.Fn()
+	}
+	canon, perm, changed := schedule.CanonicalizeVictims(pl.Shape(), costs, ws)
+	if !changed {
+		p, err := e.getOrSolve(key, fp, false, func() (*core.Plan, error) {
+			return pl.PlanConcreteHinted(ws, e.hintConcrete(ws))
+		})
+		if err == nil {
+			e.noteConcrete(ws, p)
+		}
+		return p, err
+	}
+	if p, ok := e.peek(key, fp, false); ok {
+		return p, nil
+	}
+	e.classDedups.Add(1)
+	cp, err := e.getOrSolve(concreteKey(fp, canon), fp, false, func() (*core.Plan, error) {
+		return pl.PlanConcreteHinted(canon, e.hintConcrete(canon))
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.noteConcrete(canon, cp)
+	p := core.RenamePlan(cp, schedule.InvertPerm(perm))
+	e.admit(key, fp, p, false)
+	return p, nil
+}
+
+// hintNorm returns the warm-start plan for a normalized count.
+func (e *Engine) hintNorm(n int) *core.Plan {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hintsN[n]
+}
+
+// noteNorm records a served normalized plan: the count joins the working
+// set Recalibrate re-solves, and plans that carry a hint (i.e. came out of
+// the solver rather than the store codec) become the next warm start.
+func (e *Engine) noteNorm(n int, p *core.Plan) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.plannedN[n] = true
+	if p.Hint != nil {
+		e.hintsN[n] = p
+	}
+}
+
+// hintConcrete returns the warm-start plan for a sorted victim set.
+func (e *Engine) hintConcrete(ws []schedule.Worker) *core.Plan {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hintsC[victimKey(ws)]
+}
+
+// noteConcrete records a served concrete plan as a future warm start.
+func (e *Engine) noteConcrete(ws []schedule.Worker, p *core.Plan) {
+	if p.Hint == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hintsC[victimKey(ws)] = p
+}
+
+// InvalidateCache drops every derived planning artifact — the in-process
+// plan cache, the Best(n) indexes, the compiled-program cache and the
+// replicated store's contents — while keeping the warm-start hints and the
+// immutable encoded-plan bytes. It models plan-state loss (a planner
+// restart, a store wipe, a membership change that voids cached plans): the
+// next PlanAll re-derives every plan, and the retained hints make the
+// re-derivation a warm validation pass instead of a scratch solve.
+func (e *Engine) InvalidateCache() {
+	e.mu.Lock()
+	e.cache = make(map[string]*core.Plan)
+	e.norm = make(map[string]*core.PlanStore)
+	e.programs = make(map[*schedule.Schedule]*schedule.Program)
+	e.mu.Unlock()
+	e.store.Clear()
 }
 
 // Best returns the plan for n failures, falling back to the smallest plan
@@ -403,6 +549,14 @@ func (e *Engine) getOrSolve(key, fp string, normalized bool, solve func() (*core
 		e.solves.Add(1)
 		p, err = solve()
 		if err == nil {
+			switch p.SolveKind {
+			case core.SolveWarmIdentical:
+				e.warmHits.Add(1)
+			case core.SolveWarmReplay:
+				e.warmReplays.Add(1)
+			default:
+				e.scratchSolves.Add(1)
+			}
 			e.persist(key, p)
 		}
 	}
@@ -449,11 +603,23 @@ func (e *Engine) loadQuiet(key string) *core.Plan {
 
 // persist encodes the plan and replicates it. A lost write quorum does not
 // fail the request — the caller still gets its plan — but is counted.
+// Encodings are memoized by schedule identity (schedules are immutable),
+// so a warm-hit re-solve that returns an already-encoded schedule
+// replicates the cached bytes instead of re-marshaling 10k+ placements.
 func (e *Engine) persist(key string, p *core.Plan) {
-	data, err := EncodePlan(p)
-	if err != nil {
-		e.storeErrs.Add(1)
-		return
+	e.mu.Lock()
+	data, ok := e.encoded[p.Schedule]
+	e.mu.Unlock()
+	if !ok {
+		var err error
+		data, err = EncodePlan(p)
+		if err != nil {
+			e.storeErrs.Add(1)
+			return
+		}
+		e.mu.Lock()
+		e.encoded[p.Schedule] = data
+		e.mu.Unlock()
 	}
 	if err := e.store.Put(key, data); err != nil {
 		e.storeErrs.Add(1)

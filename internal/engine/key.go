@@ -93,11 +93,19 @@ func normKey(fp string, n int) string {
 // used by the live runtime when no normalized plan matches. Workers must
 // already be sorted.
 func concreteKey(fp string, ws []schedule.Worker) string {
+	return fmt.Sprintf("plans/%s/c/%s", fp, victimKey(ws))
+}
+
+// victimKey renders a sorted victim set as a fingerprint-independent key —
+// the index of the concrete warm-start hint registry, which deliberately
+// spans cost-model namespaces (that is what keeps a post-recalibration
+// re-solve warm).
+func victimKey(ws []schedule.Worker) string {
 	parts := make([]string, len(ws))
 	for i, w := range ws {
 		parts[i] = fmt.Sprintf("%d.%d", w.Stage, w.Pipeline)
 	}
-	return fmt.Sprintf("plans/%s/c/%s", fp, strings.Join(parts, ","))
+	return strings.Join(parts, ",")
 }
 
 // sameWorkers reports whether two sorted worker lists are identical.

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"recycle/internal/profile"
+	"recycle/internal/schedule"
+)
+
+// DefaultRecalibrateThreshold is the relative measured-vs-modeled drift a
+// worker must exceed before Recalibrate touches the cost model. The 5%
+// band absorbs measurement noise (scheduling jitter, cache effects) so the
+// loop does not thrash the plan namespace on every call.
+const DefaultRecalibrateThreshold = 0.05
+
+// Recalibration reports one measured-cost feedback pass.
+type Recalibration struct {
+	// Drifted is true when at least one worker exceeded the threshold and
+	// the cost model was updated (and the working set re-planned).
+	Drifted bool
+	// MaxDrift is the largest relative deviation observed between the
+	// normalized measured and modeled per-worker compute times.
+	MaxDrift float64
+	// Applied maps each adjusted worker to its new cost multiplier
+	// (quantized to 2 decimals; 1.0 entries mean the mark was cleared).
+	Applied map[schedule.Worker]float64
+	// Replanned lists the normalized failure counts that were re-solved
+	// under the new model (warm-started by the retained hints).
+	Replanned []int
+}
+
+// Recalibrate closes the measured → cost-model loop: it compares each
+// worker's measured mean compute time (dtrain.Runtime.MeasuredWorkerTimes)
+// against the model's expectation, and when the relative drift of any
+// worker exceeds the threshold it folds the residual into the model's
+// per-worker multipliers (copy-on-write, like MarkStraggler) and re-solves
+// every previously planned failure count under the new namespace.
+//
+// Measured and modeled times are both median-normalized first, so a
+// uniform slowdown of the whole fleet — a clock change, a shared
+// interconnect regression — cancels out instead of marking every worker a
+// straggler; only relative imbalance recalibrates. Multipliers are
+// quantized to 2 decimals to keep sub-noise drift from minting a fresh
+// plan namespace per call, and the re-solves are warm-started by the
+// engine's retained hints: when the quantized model leaves a plan's
+// durations unchanged the re-solve is a validation pass, and when a
+// stage's workers all drifted together (stage-flat costs, routing
+// preserved) it is an order-replay — cheap enough to run the loop freely.
+func (e *Engine) Recalibrate(measured map[schedule.Worker]time.Duration) (Recalibration, error) {
+	var rec Recalibration
+	ws := make([]schedule.Worker, 0, len(measured))
+	for w, d := range measured {
+		if d > 0 {
+			ws = append(ws, w)
+		}
+	}
+	if len(ws) == 0 {
+		return rec, nil
+	}
+	schedule.SortWorkers(ws)
+
+	pl := e.snapshot()
+	model := pl.Costs
+	if model == nil {
+		model = profile.UniformCost(pl.Stats)
+	}
+	ms := make([]float64, len(ws))
+	es := make([]float64, len(ws))
+	for i, w := range ws {
+		ms[i] = float64(measured[w])
+		es[i] = float64(model.Of(w, schedule.F) + model.Of(w, schedule.BInput) + model.Of(w, schedule.BWeight))
+	}
+	medM, medE := median(ms), median(es)
+	if medM <= 0 || medE <= 0 {
+		return rec, fmt.Errorf("engine: degenerate recalibration measurements (median %v / %v)", medM, medE)
+	}
+
+	next := model
+	for i, w := range ws {
+		norm := (ms[i] / medM) / (es[i] / medE)
+		if d := math.Abs(norm - 1); d > rec.MaxDrift {
+			rec.MaxDrift = d
+		}
+		if math.Abs(norm-1) < e.recalThreshold {
+			continue
+		}
+		cur := 1.0
+		if f, ok := model.WorkerScale[w]; ok && f > 0 {
+			cur = f
+		}
+		q := math.Round(cur*norm*100) / 100
+		if q < 0.01 {
+			q = 0.01
+		}
+		if q == cur {
+			continue
+		}
+		if rec.Applied == nil {
+			rec.Applied = make(map[schedule.Worker]float64)
+		}
+		rec.Applied[w] = q
+		next = next.WithWorkerScale(w, q)
+	}
+	if len(rec.Applied) == 0 {
+		return rec, nil
+	}
+	rec.Drifted = true
+
+	// Install copy-on-write; a model carrying no information beyond the
+	// profiled stats normalizes back to nil (same rule as MarkStraggler).
+	if len(next.WorkerScale) == 0 && len(next.StageScale) == 0 && next.Base == pl.Stats.Durations() {
+		next = nil
+	}
+	e.mu.Lock()
+	e.planner.Costs = next
+	counts := make([]int, 0, len(e.plannedN))
+	for n := range e.plannedN {
+		counts = append(counts, n)
+	}
+	e.mu.Unlock()
+	sort.Ints(counts)
+
+	for _, n := range counts {
+		if _, err := e.Plan(n); err != nil {
+			return rec, fmt.Errorf("engine: re-planning %d failures after recalibration: %w", n, err)
+		}
+		rec.Replanned = append(rec.Replanned, n)
+	}
+	return rec, nil
+}
+
+// median returns the middle value of the sample (mean of the middle pair
+// for even sizes).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

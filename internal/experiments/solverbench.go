@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"recycle/internal/config"
+	"recycle/internal/engine"
+	"recycle/internal/profile"
+	"recycle/internal/schedule"
+)
+
+// SolverRow is one scenario of the incremental-solving benchmark: the
+// scratch and warm wall-clock of the same planning work, the solve-kind
+// split the engine recorded, and whether the warm results matched the
+// scratch baseline (bit-identical periods for re-derivation and dedup;
+// never-worse periods for the drifted re-plan).
+type SolverRow struct {
+	Scenario      string
+	ScratchMs     float64
+	WarmMs        float64
+	Speedup       float64
+	WarmHits      uint64
+	WarmReplays   uint64
+	ScratchSolves uint64
+	ClassDedups   uint64
+	MakespanMatch bool
+}
+
+// solverBenchJob is the 3.35B Table 1 preset (DP=8, PP=4) — the largest
+// pipeline count of the real-cluster jobs, so symmetry breaking and
+// warm starts have the most room to pay off.
+func solverBenchJob() config.Job { return config.Table1Jobs()[1] }
+
+// SolverBench measures the incremental warm-start machinery end to end on
+// the 3.35B preset:
+//
+//   - planall-rederive: PlanAll from scratch, wipe every derived artifact
+//     (InvalidateCache: plan cache + replicated store), PlanAll again. The
+//     retained hints turn the re-derivation into warm validation passes;
+//     periods must be bit-identical.
+//   - concrete-dedup: one concrete victim per pipeline at the same stage.
+//     Homogeneous costs put all pipelines in one equivalence class, so the
+//     first request solves and every other is a rename; periods must be
+//     bit-identical across the class.
+//   - recalibrate-drift: a stage-uniform 1.25x measured slowdown recalibrates
+//     the cost model and re-solves the working set warm (routing is
+//     preserved, so the old order replays against scratch and the winner is
+//     never worse). Compared against a cold engine solving the same drifted
+//     model from scratch; warm periods must be <= scratch periods.
+//
+// The returned rows feed recycle-bench -json (the CI bench-smoke gate) and
+// the committed BENCH_solver.json snapshot.
+func SolverBench() ([]SolverRow, string, error) {
+	job := solverBenchJob()
+	stats, err := profile.Analytic(job)
+	if err != nil {
+		return nil, "", fmt.Errorf("experiments: solver bench profile: %w", err)
+	}
+	const unroll = 2
+	maxF := job.MaxPlannedFailures()
+
+	var rows []SolverRow
+
+	// --- planall-rederive ---
+	eng := engine.New(job, stats, engine.Options{UnrollIterations: unroll})
+	t0 := time.Now()
+	if err := eng.PlanAll(maxF); err != nil {
+		return nil, "", fmt.Errorf("experiments: scratch PlanAll: %w", err)
+	}
+	scratchDur := time.Since(t0)
+	periods := make([]int64, maxF+1)
+	for f := 0; f <= maxF; f++ {
+		p, err := eng.Plan(f)
+		if err != nil {
+			return nil, "", err
+		}
+		periods[f] = p.PeriodSlots
+	}
+	cold := eng.Metrics()
+	eng.InvalidateCache()
+	t0 = time.Now()
+	if err := eng.PlanAll(maxF); err != nil {
+		return nil, "", fmt.Errorf("experiments: warm PlanAll: %w", err)
+	}
+	warmDur := time.Since(t0)
+	match := true
+	for f := 0; f <= maxF; f++ {
+		p, err := eng.Plan(f)
+		if err != nil {
+			return nil, "", err
+		}
+		match = match && p.PeriodSlots == periods[f]
+	}
+	m := eng.Metrics()
+	rows = append(rows, solverRow("planall-rederive", scratchDur, warmDur, diffMetrics(m, cold), match))
+
+	// --- concrete-dedup ---
+	eng = engine.New(job, stats, engine.Options{UnrollIterations: unroll})
+	victims := make([][]schedule.Worker, job.Parallel.DP)
+	for p := range victims {
+		victims[p] = []schedule.Worker{{Stage: 1, Pipeline: p}}
+	}
+	t0 = time.Now()
+	first, err := eng.PlanConcrete(victims[0])
+	if err != nil {
+		return nil, "", fmt.Errorf("experiments: concrete solve: %w", err)
+	}
+	scratchDur = time.Since(t0)
+	match = true
+	t0 = time.Now()
+	for _, ws := range victims[1:] {
+		p, err := eng.PlanConcrete(ws)
+		if err != nil {
+			return nil, "", fmt.Errorf("experiments: concrete dedup %v: %w", ws, err)
+		}
+		match = match && p.PeriodSlots == first.PeriodSlots
+	}
+	// Per-request warm cost, so the speedup reads as "rename vs solve".
+	warmDur = time.Since(t0) / time.Duration(len(victims)-1)
+	m = eng.Metrics()
+	match = match && m.Solves == 1
+	rows = append(rows, solverRow("concrete-dedup", scratchDur, warmDur, diffMetrics(m, engine.Metrics{}), match))
+
+	// --- recalibrate-drift ---
+	eng = engine.New(job, stats, engine.Options{UnrollIterations: unroll})
+	const replanMax = 2
+	if err := eng.PlanAll(replanMax); err != nil {
+		return nil, "", fmt.Errorf("experiments: drift baseline PlanAll: %w", err)
+	}
+	pre := eng.Metrics()
+	base := profile.UniformCost(stats)
+	measured := make(map[schedule.Worker]time.Duration)
+	sh := eng.Planner().Shape()
+	for s := 0; s < sh.PP; s++ {
+		for p := 0; p < sh.DP; p++ {
+			w := schedule.Worker{Stage: s, Pipeline: p}
+			d := time.Duration(base.Of(w, schedule.F) + base.Of(w, schedule.BInput) + base.Of(w, schedule.BWeight))
+			if s == 1 {
+				d = d * 125 / 100
+			}
+			measured[w] = d
+		}
+	}
+	t0 = time.Now()
+	rec, err := eng.Recalibrate(measured)
+	if err != nil {
+		return nil, "", fmt.Errorf("experiments: recalibrate: %w", err)
+	}
+	warmDur = time.Since(t0)
+	if !rec.Drifted {
+		return nil, "", fmt.Errorf("experiments: 25%% stage drift did not recalibrate (max drift %.3f)", rec.MaxDrift)
+	}
+	m = eng.Metrics()
+
+	// Cold reference: a fresh engine given the recalibrated model up front
+	// solves the same counts from scratch.
+	ref := engine.New(job, stats, engine.Options{UnrollIterations: unroll, CostModel: eng.CostModel()})
+	t0 = time.Now()
+	if err := ref.PlanAll(replanMax); err != nil {
+		return nil, "", fmt.Errorf("experiments: drifted scratch PlanAll: %w", err)
+	}
+	scratchDur = time.Since(t0)
+	match = true
+	for f := 0; f <= replanMax; f++ {
+		wp, err := eng.Plan(f)
+		if err != nil {
+			return nil, "", err
+		}
+		sp, err := ref.Plan(f)
+		if err != nil {
+			return nil, "", err
+		}
+		match = match && wp.PeriodSlots <= sp.PeriodSlots
+	}
+	rows = append(rows, solverRow("recalibrate-drift", scratchDur, warmDur, diffMetrics(m, pre), match))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Solver warm-start benchmark (%s, PP=%d DP=%d, unroll %d)\n",
+		job.Model.Name, job.Parallel.PP, job.Parallel.DP, unroll)
+	fmt.Fprintf(&b, "  %-18s %10s %10s %8s %5s %7s %8s %6s %6s\n",
+		"scenario", "scratch", "warm", "speedup", "warm", "replay", "scratch", "dedup", "match")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-18s %8.1fms %8.2fms %7.1fx %5d %7d %8d %6d %6v\n",
+			r.Scenario, r.ScratchMs, r.WarmMs, r.Speedup, r.WarmHits, r.WarmReplays, r.ScratchSolves, r.ClassDedups, r.MakespanMatch)
+	}
+	return rows, b.String(), nil
+}
+
+// diffMetrics isolates the solve-kind counters a scenario added on top of
+// an earlier snapshot.
+func diffMetrics(after, before engine.Metrics) engine.Metrics {
+	return engine.Metrics{
+		WarmHits:      after.WarmHits - before.WarmHits,
+		WarmReplays:   after.WarmReplays - before.WarmReplays,
+		ScratchSolves: after.ScratchSolves - before.ScratchSolves,
+		ClassDedups:   after.ClassDedups - before.ClassDedups,
+	}
+}
+
+func solverRow(name string, scratch, warm time.Duration, m engine.Metrics, match bool) SolverRow {
+	r := SolverRow{
+		Scenario:      name,
+		ScratchMs:     float64(scratch) / float64(time.Millisecond),
+		WarmMs:        float64(warm) / float64(time.Millisecond),
+		WarmHits:      m.WarmHits,
+		WarmReplays:   m.WarmReplays,
+		ScratchSolves: m.ScratchSolves,
+		ClassDedups:   m.ClassDedups,
+		MakespanMatch: match,
+	}
+	if warm > 0 {
+		r.Speedup = float64(scratch) / float64(warm)
+	}
+	return r
+}

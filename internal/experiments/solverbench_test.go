@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// TestSolverBench runs the solver warm-start benchmark end to end and
+// checks the invariants the CI bench-smoke job gates on: all three
+// scenarios present, every scenario's warm results matching its scratch
+// baseline, and the two speedup scenarios actually faster warm. The
+// recalibrate-drift row is exempt from the timing bar: its warm path runs
+// the never-worse replay race on top of scratch, so it buys plan quality
+// and namespace continuity, not wall-clock.
+func TestSolverBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3.35B planning sweeps in -short mode")
+	}
+	rows, table, err := SolverBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table == "" {
+		t.Fatal("empty report")
+	}
+	want := []string{"planall-rederive", "concrete-dedup", "recalibrate-drift"}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for i, r := range rows {
+		if r.Scenario != want[i] {
+			t.Fatalf("row %d scenario %q, want %q", i, r.Scenario, want[i])
+		}
+		if !r.MakespanMatch {
+			t.Errorf("%s: warm results do not match scratch baseline", r.Scenario)
+		}
+		if r.WarmHits+r.WarmReplays+r.ScratchSolves+r.ClassDedups == 0 {
+			t.Errorf("%s: no solver activity recorded", r.Scenario)
+		}
+	}
+	for _, r := range rows[:2] {
+		if r.WarmMs > r.ScratchMs {
+			t.Errorf("%s: warm %.2fms slower than scratch %.2fms", r.Scenario, r.WarmMs, r.ScratchMs)
+		}
+	}
+	if rows[0].WarmHits == 0 {
+		t.Error("planall-rederive recorded no warm hits")
+	}
+	if rows[1].ClassDedups == 0 {
+		t.Error("concrete-dedup recorded no class dedups")
+	}
+}

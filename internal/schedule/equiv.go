@@ -1,0 +1,140 @@
+package schedule
+
+import (
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Pipeline cost-equivalence: two data-parallel pipelines are
+// interchangeable when, at every stage, their workers run every op type at
+// the same modeled cost. Victim sets that differ only by a permutation of
+// pipelines inside such classes produce isomorphic schedules, so a planner
+// need only solve one canonical representative per orbit and rename the
+// result — the symmetry breaking that collapses the concrete
+// failure-configuration space combinatorially.
+
+// PipelineClasses partitions the pipelines of a job into cost-equivalence
+// classes. A nil CostFunc means homogeneous costs, so every pipeline falls
+// into one class. Class members are ascending and classes are ordered by
+// their smallest member.
+func PipelineClasses(sh Shape, costs CostFunc) [][]int {
+	if costs == nil {
+		all := make([]int, sh.DP)
+		for k := range all {
+			all[k] = k
+		}
+		return [][]int{all}
+	}
+	types := []OpType{F, B, BInput, BWeight, Optimizer}
+	index := make(map[string]int)
+	var classes [][]int
+	var b strings.Builder
+	for k := 0; k < sh.DP; k++ {
+		b.Reset()
+		for i := 0; i < sh.PP; i++ {
+			w := Worker{Stage: i, Pipeline: k}
+			for _, t := range types {
+				b.WriteString(strconv.FormatInt(costs(w, t), 10))
+				b.WriteByte(',')
+			}
+		}
+		sig := b.String()
+		ci, ok := index[sig]
+		if !ok {
+			ci = len(classes)
+			index[sig] = ci
+			classes = append(classes, nil)
+		}
+		classes[ci] = append(classes[ci], k)
+	}
+	return classes
+}
+
+// CanonicalizeVictims maps a victim set onto the canonical representative
+// of its cost-equivalence orbit: within every pipeline class, the
+// per-pipeline victim stage-profiles are reassigned to the class's members
+// in a fixed order (heaviest profile to the smallest pipeline id). It
+// returns the canonical victim set (sorted), the pipeline permutation that
+// produced it (perm[old] = new, a full permutation over [0, DP) that moves
+// pipelines only within their class), and whether the canonical set
+// differs from the original.
+func CanonicalizeVictims(sh Shape, costs CostFunc, victims []Worker) (canon []Worker, perm []int, changed bool) {
+	perm = make([]int, sh.DP)
+	for k := range perm {
+		perm[k] = k
+	}
+	stagesOf := make([][]int, sh.DP)
+	for _, w := range victims {
+		stagesOf[w.Pipeline] = append(stagesOf[w.Pipeline], w.Stage)
+	}
+	for k := range stagesOf {
+		sort.Ints(stagesOf[k])
+	}
+	for _, class := range PipelineClasses(sh, costs) {
+		members := slices.Clone(class)
+		sort.SliceStable(members, func(a, b int) bool {
+			return profileLess(stagesOf[members[a]], stagesOf[members[b]])
+		})
+		for p, old := range members {
+			perm[old] = class[p]
+		}
+	}
+	canon = make([]Worker, len(victims))
+	for i, w := range victims {
+		canon[i] = Worker{Stage: w.Stage, Pipeline: perm[w.Pipeline]}
+	}
+	SortWorkers(canon)
+	orig := slices.Clone(victims)
+	SortWorkers(orig)
+	return canon, perm, !slices.Equal(canon, orig)
+}
+
+// profileLess orders victim stage-profiles canonically: pipelines that
+// lost more workers first, then lexicographically smaller stage lists;
+// equal profiles keep their original pipeline order (stable sort), so
+// un-victimized pipelines never move.
+func profileLess(a, b []int) bool {
+	if len(a) != len(b) {
+		return len(a) > len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// InvertPerm returns the inverse of a pipeline permutation.
+func InvertPerm(perm []int) []int {
+	inv := make([]int, len(perm))
+	for old, nw := range perm {
+		inv[nw] = old
+	}
+	return inv
+}
+
+// RenamePipelines applies a pipeline permutation to a schedule: every op's
+// home and exec pipeline and every failed worker move to perm[pipeline],
+// with all times unchanged. When the permutation moves pipelines only
+// within cost-equivalence classes (CanonicalizeVictims' output), the
+// renamed schedule is an exact isomorph of the original — every constraint
+// Validate checks (dependencies, overlap, memory, per-op durations) is
+// preserved because swapped workers run every op at identical cost.
+func RenamePipelines(s *Schedule, perm []int) *Schedule {
+	ps := make([]Placement, len(s.Placements))
+	for i, p := range s.Placements {
+		p.Op.Home = perm[p.Op.Home]
+		p.Op.Exec = perm[p.Op.Exec]
+		ps[i] = p
+	}
+	failed := make(map[Worker]bool, len(s.Failed))
+	for w, v := range s.Failed {
+		if v {
+			failed[Worker{Stage: w.Stage, Pipeline: perm[w.Pipeline]}] = true
+		}
+	}
+	return New(s.Shape, s.Durations, failed, ps)
+}

@@ -1,7 +1,6 @@
 package solver
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -276,7 +275,6 @@ func groupKey(staggered bool, iter, stage int) string {
 
 // run executes the event loop to completion.
 func (s *state) run() error {
-	heap.Init(&s.events)
 	// Seed future-start hints for tasks that are ready from the start
 	// (their earliest start is their release time).
 	s.wake = make([]int64, len(s.workers))
@@ -287,7 +285,7 @@ func (s *state) run() error {
 		s.wakeAt(wi, 0)
 	}
 	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(event)
+		e := s.events.popEvent()
 		if s.wake[e.w] == e.t {
 			s.wake[e.w] = int64(^uint64(0) >> 1)
 		}
@@ -322,7 +320,7 @@ func (s *state) dispatch(wi int, t int64) bool {
 		if c.op.Iter > gate {
 			break
 		}
-		if maxI64(c.readyAt, c.release) > t {
+		if max(c.readyAt, c.release) > t {
 			continue
 		}
 		if c.op.Type == schedule.F {
@@ -351,7 +349,7 @@ func (s *state) dispatch(wi int, t int64) bool {
 		if c.op.Iter > gate {
 			break
 		}
-		if est := maxI64(c.readyAt, c.release); est > t && est < minFuture {
+		if est := max(c.readyAt, c.release); est > t && est < minFuture {
 			minFuture = est
 		}
 	}
@@ -483,15 +481,8 @@ func (s *state) placeAt(id taskID, start int64) {
 			if n.op.Type == schedule.BWeight {
 				s.workers[nwi].bwPool = append(s.workers[nwi].bwPool, sc.id)
 			}
-			est := maxI64(n.readyAt, n.release)
-			s.wakeAt(nwi, maxI64(est, s.workers[nwi].free))
+			est := max(n.readyAt, n.release)
+			s.wakeAt(nwi, max(est, s.workers[nwi].free))
 		}
 	}
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -21,7 +21,6 @@
 package solver
 
 import (
-	"container/heap"
 	"fmt"
 
 	"recycle/internal/schedule"
@@ -59,6 +58,13 @@ type Input struct {
 	// backward instructions. The Planner uses it for the Fig 11 ablation's
 	// "Adaptive Pipelining only" configuration.
 	Naive bool
+	// Hint, when non-nil, warm-starts the solve from a previously solved
+	// neighboring instance (see Hint). Incompatible hints are ignored, so
+	// passing a stale hint is always safe; a compatible hint turns the
+	// solve into a validation pass (identical instance) or an order-replay
+	// race against the scratch dispatch (drifted durations), never
+	// producing a worse makespan than a scratch solve of the same input.
+	Hint *Hint
 }
 
 // ErrStageDead is returned when some pipeline stage has no live worker in
@@ -77,18 +83,51 @@ func (in Input) dur(w schedule.Worker, t schedule.OpType) int64 {
 
 // Solve produces an adaptive schedule for the input.
 func Solve(in Input) (*schedule.Schedule, error) {
+	s, _, err := SolveInstrumented(in)
+	return s, err
+}
+
+// SolveInstrumented is Solve plus provenance: how the schedule was derived
+// (scratch, warm-identical, warm-replay) and a self-hint that warm-starts
+// future solves of neighboring instances. Warm-start flow:
+//
+//   - identical instance (hint routes, toggles, caps and every placement
+//     duration match the input): the hint schedule is returned unchanged
+//     after an O(placements) validation — the solver is deterministic, so
+//     this is bit-identical to what a scratch solve would produce;
+//   - drifted durations with unchanged routing (e.g. a stage-uniform
+//     recalibration, which keeps every stage cost-flat): the hint's
+//     per-worker op order is replayed under the new durations and the
+//     better of replay and scratch is returned;
+//   - anything else: plain scratch solve.
+func SolveInstrumented(in Input) (*schedule.Schedule, SolveInfo, error) {
 	if err := in.Shape.Validate(); err != nil {
-		return nil, err
+		return nil, SolveInfo{}, err
 	}
 	routes, err := routeForInput(in)
 	if err != nil {
-		return nil, err
+		return nil, SolveInfo{}, err
+	}
+	h := in.Hint
+	warm := h.compatible(in, routes)
+	if warm && h.Schedule.Durations == in.Durations && h.durationsMatch(in) {
+		return h.Schedule, SolveInfo{Kind: KindWarmIdentical, Hint: h}, nil
 	}
 	st := newState(in, routes)
-	if err := st.run(); err != nil {
-		return nil, err
+	var replay []schedule.Placement
+	replayOK := false
+	if warm {
+		replay, replayOK = st.replayOrder(h.Schedule)
 	}
-	return schedule.New(in.Shape, in.Durations, in.Failed, st.placements), nil
+	if err := st.run(); err != nil {
+		return nil, SolveInfo{}, err
+	}
+	ps, kind := st.placements, KindScratch
+	if replayOK && horizon(replay) < horizon(st.placements) {
+		ps, kind = replay, KindWarmReplay
+	}
+	s := schedule.New(in.Shape, in.Durations, in.Failed, ps)
+	return s, SolveInfo{Kind: kind, Hint: selfHint(in, routes, s)}, nil
 }
 
 // routeForInput picks the routing strategy: plain round-robin over live
@@ -279,20 +318,14 @@ type event struct {
 	w int // worker index
 }
 
+// eventQueue is a typed binary min-heap ordered by (time, worker). The
+// event loop is hot enough that the interface boxing of container/heap
+// showed in profiles, so the sift operations are implemented directly.
 type eventQueue []event
 
 func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	return q[i].t < q[j].t || (q[i].t == q[j].t && q[i].w < q[j].w)
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
 }
 
 type optGroup struct {
@@ -331,7 +364,41 @@ func (s *state) wakeAt(wi int, t int64) {
 
 func (s *state) workerOf(w schedule.Worker) *workerState { return &s.workers[s.widx[w]] }
 
-// pushEvent adds an event to the queue (container/heap plumbing).
+// pushEvent adds an event to the queue (sift-up).
 func (q *eventQueue) pushEvent(e event) {
-	heap.Push(q, e)
+	*q = append(*q, e)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// popEvent removes and returns the earliest event (sift-down).
+func (q *eventQueue) popEvent() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	*q = h
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h.less(r, c) {
+			c = r
+		}
+		if !h.less(c, i) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	return top
 }

@@ -1,0 +1,58 @@
+// Command benchsmoke is the CI gate for the solver warm-start benchmark:
+// it reads a `recycle-bench -solver -json` report on stdin and fails when
+// the Solver section is missing, a scenario's warm results diverge from
+// its scratch baseline, or the warm paths that claim a speedup
+// (planall-rederive, concrete-dedup) are not actually faster warm than
+// scratch. The recalibrate-drift scenario is exempt from the timing bar by
+// design: its warm path races the never-worse order replay against a full
+// scratch solve, buying plan quality rather than wall-clock.
+//
+//	go run ./cmd/recycle-bench -solver -json | go run ./scripts/benchsmoke
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"recycle/internal/experiments"
+)
+
+// timedScenarios are the rows whose warm path must beat scratch.
+var timedScenarios = map[string]bool{
+	"planall-rederive": true,
+	"concrete-dedup":   true,
+}
+
+func main() {
+	var rep struct {
+		Solver []experiments.SolverRow
+	}
+	if err := json.NewDecoder(os.Stdin).Decode(&rep); err != nil {
+		fail("decoding report: %v", err)
+	}
+	if len(rep.Solver) == 0 {
+		fail("report has no Solver section — did recycle-bench run with -solver?")
+	}
+	seen := make(map[string]bool)
+	for _, r := range rep.Solver {
+		seen[r.Scenario] = true
+		if !r.MakespanMatch {
+			fail("%s: warm results do not match the scratch baseline", r.Scenario)
+		}
+		if timedScenarios[r.Scenario] && r.WarmMs > r.ScratchMs {
+			fail("%s: warm %.2fms slower than scratch %.2fms", r.Scenario, r.WarmMs, r.ScratchMs)
+		}
+	}
+	for s := range timedScenarios {
+		if !seen[s] {
+			fail("report is missing the %q scenario", s)
+		}
+	}
+	fmt.Printf("benchsmoke: %d solver scenarios ok\n", len(rep.Solver))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchsmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
