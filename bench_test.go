@@ -323,15 +323,15 @@ func BenchmarkPlanAllSequential(b *testing.B) {
 	}
 }
 
-// BenchmarkPlanAllParallel runs the same offline phase through the plan
+// BenchmarkWarmParallel runs the same offline phase through the plan
 // service's bounded worker pool (plus the encode/replicate step every plan
 // now pays). A fresh engine per iteration keeps the cache cold so each
 // iteration measures real solves.
-func BenchmarkPlanAllParallel(b *testing.B) {
+func BenchmarkWarmParallel(b *testing.B) {
 	job, stats := planAllJob(b)
 	for i := 0; i < b.N; i++ {
 		eng := engine.New(job, stats, engine.Options{UnrollIterations: 2})
-		if err := eng.PlanAll(0); err != nil {
+		if err := eng.Warm(0).Wait(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"os"
 
+	"recycle/internal/engine"
 	"recycle/internal/experiments"
+	"recycle/internal/schedule"
 )
 
 // report is the machine-readable shape of one full evaluation run. The
@@ -32,16 +34,22 @@ type report struct {
 	// triples that changed owners at splices) against the scalar
 	// failure-normalization restart charge for the Table 1 workloads.
 	Migration []experiments.MigrationRow
-	// Solver measures the incremental warm-start machinery (PlanAll
+	// Solver measures the incremental warm-start machinery (warm
 	// re-derivation, equivalence-class dedup, recalibration re-plans) —
 	// the section the CI bench-smoke job gates on.
 	Solver []experiments.SolverRow
+	// Service is the multi-job plan-service load benchmark: sharded vs
+	// single-mutex engines under concurrent fetchers with failure churn,
+	// gated against the BENCH_service.json snapshot in CI.
+	Service experiments.ServiceReport
 }
 
 func main() {
 	fig13 := flag.Bool("fig13", false, "include the (slow) planner-latency heat map")
 	asJSON := flag.Bool("json", false, "emit the structured results as JSON on stdout")
 	solverOnly := flag.Bool("solver", false, "run only the solver warm-start benchmark (fast; the CI bench-smoke mode)")
+	serviceOnly := flag.Bool("service", false, "run only the plan-service load benchmark (sharded vs single-mutex; the BENCH_service.json source)")
+	metricsOnly := flag.Bool("metrics", false, "exercise one engine briefly and dump its Metrics counters as JSON")
 	flag.Parse()
 
 	var rep report
@@ -55,6 +63,15 @@ func main() {
 		}
 	}
 
+	if *metricsOnly {
+		m, err := exerciseMetrics()
+		check(err)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(m))
+		return
+	}
+
 	if *solverOnly {
 		var t string
 		rep.Solver, t, err = experiments.SolverBench()
@@ -64,6 +81,19 @@ func main() {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
 			check(enc.Encode(struct{ Solver []experiments.SolverRow }{rep.Solver}))
+		}
+		return
+	}
+
+	if *serviceOnly {
+		var t string
+		rep.Service, t, err = experiments.ServiceBench(experiments.DefaultServiceLoad())
+		check(err)
+		emit(t)
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			check(enc.Encode(struct{ Service experiments.ServiceReport }{rep.Service}))
 		}
 		return
 	}
@@ -121,11 +151,47 @@ func main() {
 	check(err)
 	emit(t)
 
+	rep.Service, t, err = experiments.ServiceBench(experiments.DefaultServiceLoad())
+	check(err)
+	emit(t)
+
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		check(enc.Encode(rep))
 	}
+}
+
+// exerciseMetrics warms a small engine, drives every fetch tier once
+// (cache hit, concrete solve, straggler re-plan, invalidation), and
+// returns the counter snapshot — a quick health view of the service
+// counters without running the full load benchmark.
+func exerciseMetrics() (engine.Metrics, error) {
+	job, stats := engine.ShapeJob(4, 3, 8)
+	eng := engine.New(job, stats, engine.Options{})
+	if err := eng.Warm(2).Wait(); err != nil {
+		return engine.Metrics{}, err
+	}
+	w := schedule.Worker{Stage: 1, Pipeline: 1}
+	for _, failed := range []map[schedule.Worker]bool{
+		nil,
+		{w: true},
+		{w: true, {Stage: 0, Pipeline: 2}: true},
+	} {
+		if _, err := eng.ScheduleFor(failed); err != nil {
+			return engine.Metrics{}, err
+		}
+	}
+	eng.MarkStraggler(w, 1.4)
+	if _, err := eng.ScheduleFor(map[schedule.Worker]bool{w: true}); err != nil {
+		return engine.Metrics{}, err
+	}
+	eng.ClearStraggler(w)
+	eng.InvalidateCache()
+	if err := eng.Warm(1).Wait(); err != nil {
+		return engine.Metrics{}, err
+	}
+	return eng.Metrics(), nil
 }
 
 func check(err error) {

@@ -46,12 +46,14 @@ func main() {
 	eng := engine.New(job, stats, engine.Options{})
 	if *all {
 		start := time.Now()
-		if err := eng.PlanAll(0); err != nil {
+		w := eng.Warm(0)
+		if err := w.Wait(); err != nil {
 			fmt.Fprintln(os.Stderr, "plan:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("offline phase: %d plans (0..%d failures) solved concurrently and replicated in %s\n",
-			job.MaxPlannedFailures()+1, job.MaxPlannedFailures(), time.Since(start).Round(time.Millisecond))
+		done, total := w.Coverage()
+		fmt.Printf("offline phase: %d/%d plans (0..%d failures) warmed concurrently and replicated in %s\n",
+			done, total, job.MaxPlannedFailures(), time.Since(start).Round(time.Millisecond))
 	}
 	ff, err := eng.Plan(0)
 	if err != nil {

@@ -34,9 +34,10 @@ func main() {
 	}
 	eng := engine.New(job, stats, engine.Options{})
 
-	// The offline phase: one plan per tolerated failure count, solved
-	// concurrently, encoded and quorum-replicated.
-	if err := eng.PlanAll(2); err != nil {
+	// The offline phase: one plan per tolerated failure count, warmed in
+	// the background (fewest failures first), encoded and
+	// quorum-replicated; Wait makes it synchronous here.
+	if err := eng.Warm(2).Wait(); err != nil {
 		log.Fatal(err)
 	}
 	ff, err := eng.Plan(0)

@@ -9,6 +9,7 @@ import (
 
 	"recycle/internal/engine"
 	"recycle/internal/nn"
+	"recycle/internal/planstore"
 	"recycle/internal/profile"
 	"recycle/internal/replay"
 	"recycle/internal/schedule"
@@ -35,6 +36,11 @@ type Config struct {
 	// then propagates the stamped heterogeneous durations, so the logical
 	// timeline matches the simulator's under the same cost model.
 	CostModel *profile.CostModel
+	// Store injects a shared replicated plan store (nil keeps a private
+	// one). Pointing several runtimes — or a runtime and a fetch-only
+	// engine.Client — at one store is how executors consume plan and
+	// Program artifacts another coordinator solved and compiled.
+	Store *planstore.Store
 }
 
 // errAborted marks an executor unwound by a peer's abort: its messages
@@ -65,6 +71,11 @@ type Runtime struct {
 	// first, Best(n) fallback, on-demand solve on miss — instead of
 	// invoking the solver directly.
 	eng *engine.Engine
+	// progSrc, when set, replaces the in-process engine as the source of
+	// compiled Programs: the executor-side fetch path, where the artifact
+	// comes out of the shared replicated store (engine.Client) instead of
+	// a local solver.
+	progSrc ProgramSource
 
 	stages map[schedule.Worker]*nn.Stage
 	opts   map[schedule.Worker]nn.Optimizer
@@ -95,7 +106,7 @@ func New(cfg Config) *Runtime {
 	job, stats := engine.ShapeJob(cfg.DP, cfg.PP, cfg.MB)
 	rt := &Runtime{
 		Cfg:        cfg,
-		eng:        engine.New(job, stats, engine.Options{UnrollIterations: 1, CostModel: cfg.CostModel}),
+		eng:        engine.New(job, stats, engine.Options{UnrollIterations: 1, CostModel: cfg.CostModel, Store: cfg.Store}),
 		Dataset:    NewDataset(cfg.InDim, cfg.OutDim, cfg.MicroBatchSize, cfg.Seed),
 		stages:     make(map[schedule.Worker]*nn.Stage),
 		opts:       make(map[schedule.Worker]nn.Optimizer),
@@ -175,20 +186,51 @@ func (rt *Runtime) StageParams(w schedule.Worker) []*nn.Param {
 	return rt.stages[w].Params()
 }
 
+// ProgramSource yields the compiled Program for a concrete failure set.
+// engine.Engine (solve-and-compile) and engine.Client (fetch-only, remote
+// executor) both satisfy it.
+type ProgramSource interface {
+	ProgramFor(failed map[schedule.Worker]bool) (*schedule.Program, error)
+}
+
+// SetProgramSource redirects Program fetches to an alternative source —
+// typically an engine.Client over a shared store, turning this runtime
+// into a pure executor that interprets artifacts a remote coordinator
+// compiled. Passing nil restores the in-process engine.
+func (rt *Runtime) SetProgramSource(src ProgramSource) { rt.progSrc = src }
+
 // Program fetches the compiled Program for the current failure set from
 // the plan service — the Coordinator flow of §4.1: a stored plan when one
 // matches, an on-demand solve otherwise, each failure set solved and
 // compiled at most once across the run. This is the exact artifact the
-// discrete-event simulator executes in virtual time.
+// discrete-event simulator executes in virtual time. With a
+// ProgramSource installed, the artifact is fetched from it instead
+// (executor-side decode of a remotely compiled Program).
 func (rt *Runtime) Program() (*schedule.Program, error) {
+	if rt.progSrc != nil {
+		return rt.progSrc.ProgramFor(rt.failed)
+	}
 	return rt.eng.ProgramFor(rt.failed)
 }
 
+// PlanStore exposes the replicated store backing the plan service, so
+// tests and executor wiring can hand it to other runtimes or clients.
+func (rt *Runtime) PlanStore() *planstore.Store { return rt.eng.Store() }
+
 // PrePlan precomputes normalized plans for 0..maxFailures concurrently and
-// replicates them — the offline Planner phase of Fig 8. maxFailures <= 0
-// selects DP-1.
+// replicates them — the offline Planner phase of Fig 8, run to completion
+// before training starts. Training that wants to begin immediately uses
+// Warm instead and lets coverage build in the background.
 func (rt *Runtime) PrePlan(maxFailures int) error {
-	return rt.eng.PlanAll(maxFailures)
+	return rt.eng.Warm(maxFailures).Wait()
+}
+
+// Warm starts the background warming pipeline for 0..maxFailures
+// normalized plans and returns without blocking; iterations can start
+// while coverage builds, and a failure that arrives before its plan is
+// warmed simply coalesces onto (or triggers) the solve.
+func (rt *Runtime) Warm(maxFailures int) *engine.Warmer {
+	return rt.eng.Warm(maxFailures)
 }
 
 // PlanMetrics reports the plan service's traffic counters: how many

@@ -22,7 +22,7 @@ func benchJob(tb testing.TB) (config.Job, profile.Stats) {
 // planAllPeriods runs one PlanAll and returns the per-count periods.
 func planAllPeriods(tb testing.TB, eng *Engine, maxF int) []int64 {
 	tb.Helper()
-	if err := eng.PlanAll(maxF); err != nil {
+	if err := eng.Warm(maxF).Wait(); err != nil {
 		tb.Fatal(err)
 	}
 	out := make([]int64, maxF+1)
@@ -74,7 +74,7 @@ func BenchmarkPlanAllWarmStart(b *testing.B) {
 	b.Run("scratch", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			eng := New(job, stats, Options{UnrollIterations: 2})
-			if err := eng.PlanAll(maxF); err != nil {
+			if err := eng.Warm(maxF).Wait(); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -86,7 +86,7 @@ func BenchmarkPlanAllWarmStart(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			eng.InvalidateCache()
-			if err := eng.PlanAll(maxF); err != nil {
+			if err := eng.Warm(maxF).Wait(); err != nil {
 				b.Fatal(err)
 			}
 		}

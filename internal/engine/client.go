@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+
+	"recycle/internal/config"
+	"recycle/internal/core"
+	"recycle/internal/planstore"
+	"recycle/internal/profile"
+	"recycle/internal/schedule"
+)
+
+// Client is a fetch-only view of a shared replicated plan store: it
+// derives the same key namespace an Engine with the same configuration
+// uses, but carries no planner, no solver and no caches. A remote
+// executor holds one to pull plans and compiled Program artifacts
+// directly from the store — the coordinator that solved and compiled them
+// does not have to be alive, which is what makes the plan service
+// horizontally shardable.
+type Client struct {
+	store *planstore.Store
+	fp    string
+}
+
+// NewClient builds a fetch-only store view for a job. opts supplies only
+// the namespace-relevant knobs (Techniques, UnrollIterations, CostModel);
+// the rest is ignored. The derived fingerprint must match the serving
+// engine's, so pass the same options the engine was built with.
+func NewClient(store *planstore.Store, job config.Job, stats profile.Stats, opts Options) *Client {
+	planner := core.New(job, stats)
+	if opts.Techniques != nil {
+		planner.Techniques = *opts.Techniques
+	}
+	planner.Costs = opts.CostModel
+	if opts.UnrollIterations > 0 {
+		planner.UnrollIterations = opts.UnrollIterations
+	}
+	fp := Fingerprint(planner.Job, planner.Stats, planner.Techniques, planner.UnrollIterations, planner.Costs.Signature())
+	return &Client{store: store, fp: fp}
+}
+
+// Fingerprint returns the job fingerprint this client addresses.
+func (c *Client) Fingerprint() string { return c.fp }
+
+// Plan fetches and decodes the normalized plan for n simultaneous
+// failures. It never solves: a miss means no engine has replicated that
+// plan yet.
+func (c *Client) Plan(n int) (*core.Plan, error) {
+	key := "plans/" + c.fp + "/n/" + strconv.Itoa(n)
+	data, ok, err := c.store.Get(key)
+	if err != nil {
+		return nil, fmt.Errorf("engine: client plan fetch: %w", err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("engine: no replicated plan for %d failures (namespace %s)", n, c.fp)
+	}
+	return DecodePlan(data)
+}
+
+// ProgramFor fetches and decodes the compiled Program artifact for a
+// concrete failed-worker set. It never compiles: the artifact exists iff
+// an engine sharing the store lowered that schedule and replicated it.
+func (c *Client) ProgramFor(failed map[schedule.Worker]bool) (*schedule.Program, error) {
+	ws := workerList(failed)
+	data, ok, err := c.store.Get(programKey(c.fp, ws))
+	if err != nil {
+		return nil, fmt.Errorf("engine: client program fetch: %w", err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("engine: no replicated program for %v (namespace %s)", ws, c.fp)
+	}
+	return DecodeProgram(data)
+}

@@ -6,14 +6,18 @@
 //
 // It owns the full solve→plan→store→fetch lifecycle of Fig 8:
 //
-//   - PlanAll precomputes the plan for every tolerated failure count
-//     concurrently with a bounded worker pool (each count is an
-//     independent CPU-bound solve);
+//   - Warm precomputes the plan for every tolerated failure count in the
+//     background (fewest failures first, since those are the likeliest
+//     fetches) with a bounded worker pool, while ScheduleFor keeps
+//     serving — the warming pipeline that replaced the blocking PlanAll
+//     offline phase;
 //   - every plan round-trips through the quorum-replicated plan store
 //     (internal/planstore, standing in for the paper's etcd) via the
 //     canonical versioned codec (EncodePlan/DecodePlan), so a plan
 //     written by one engine survives replica failures and is readable by
-//     any other engine sharing the store;
+//     any other engine sharing the store; compiled Programs round-trip
+//     the same way (EncodeProgram/DecodeProgram), so a remote executor's
+//     fetch-only Client pulls the executable artifact directly;
 //   - Plan / PlanConcrete are get-or-solve with request coalescing:
 //     concurrent callers asking for the same (job fingerprint,
 //     techniques, failure count) trigger exactly one solve;
@@ -21,6 +25,11 @@
 //     (§4.1): exact plan from cache/store, then Best(n) fallback, then
 //     on-demand solve on miss; ProgramFor serves the compiled Program
 //     for the same path, cached alongside the plan.
+//
+// All caches are lock-striped (Options.Stripes hash shards keyed by plan
+// fingerprint or schedule identity) and invalidation is epoch-based: a
+// stripe is only ever locked for the keys it owns, and InvalidateCache
+// bumps one atomic instead of sweeping maps under a global mutex.
 //
 // The engine also carries the heterogeneous cost model
 // (profile.CostModel): per-(stage, op, worker) durations enter the plan

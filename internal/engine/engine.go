@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"hash/maphash"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,8 +15,8 @@ import (
 )
 
 // Options tunes an Engine. The zero value selects full ReCycle techniques,
-// the planner's default unroll window, one worker per CPU and a fresh
-// 3-replica plan store.
+// the planner's default unroll window, one worker per CPU, 64 lock
+// stripes and a fresh 3-replica plan store.
 type Options struct {
 	// Techniques overrides the ReCycle technique toggles (nil selects
 	// core.AllTechniques).
@@ -23,7 +24,7 @@ type Options struct {
 	// UnrollIterations overrides the planner's steady-state unroll window
 	// (0 keeps the planner default; the live runtime plans 1 iteration).
 	UnrollIterations int
-	// Workers bounds the PlanAll worker pool (0 selects GOMAXPROCS).
+	// Workers bounds the Warm worker pool (0 selects GOMAXPROCS).
 	Workers int
 	// Store injects a (possibly shared) replicated plan store. Nil
 	// creates a private 3-replica store, matching a small etcd deployment.
@@ -36,6 +37,16 @@ type Options struct {
 	// modeled per-worker compute times below which Recalibrate leaves the
 	// cost model untouched (0 selects DefaultRecalibrateThreshold).
 	RecalibrateThreshold float64
+	// Stripes is the lock-stripe count for the plan/Program caches,
+	// rounded up to a power of two (0 selects 64). More stripes means
+	// less cross-fingerprint contention at a few maps' worth of memory.
+	Stripes int
+	// SingleMutex collapses the engine to one exclusively locked stripe
+	// and restores the pre-striping per-fetch work (a full planner
+	// snapshot plus a cost-model signature per request). It exists as the
+	// honest baseline for the service load benchmark; production engines
+	// leave it false.
+	SingleMutex bool
 }
 
 // Metrics is a snapshot of the engine's plan-traffic counters.
@@ -51,56 +62,85 @@ type Metrics struct {
 
 	// Solver-path split of Solves: warm-start hits (the hint's schedule
 	// validated as-is), warm replays (the hint's op order re-timed and it
-	// beat scratch), and scratch solves. Warm+Replay+Scratch == Solves.
+	// matched or beat scratch), and scratch solves.
+	// Warm+Replay+Scratch == Solves.
 	WarmHits      uint64
 	WarmReplays   uint64
 	ScratchSolves uint64
 	// ClassDedups counts concrete plan requests answered by renaming a
 	// cost-equivalence-class representative instead of solving.
 	ClassDedups uint64
+
+	// Service counters (PR 7). StripeContended counts lock acquisitions
+	// that could not be satisfied speculatively and had to block — the
+	// direct measure of cache-lock contention under load. ProgramStoreHits
+	// counts compiled Programs decoded out of the replicated store instead
+	// of recompiled. WarmedPlans/WarmTargets track background warming
+	// coverage. ConfSwaps counts planner-configuration snapshot rebuilds
+	// (techniques retuned, cost model changed). Epoch is the current cache
+	// epoch; it advances once per InvalidateCache.
+	StripeContended  uint64
+	ProgramStoreHits uint64
+	WarmedPlans      uint64
+	WarmTargets      uint64
+	ConfSwaps        uint64
+	Epoch            uint64
 }
 
-// call is one in-flight solve that concurrent requesters coalesce onto.
-type call struct {
-	done chan struct{}
-	plan *core.Plan
-	err  error
+// plannerConf is one immutable snapshot of the planner's configuration:
+// the full planner copy every solve in this configuration uses (Planner
+// methods never mutate their receiver, so one copy is shared by all
+// concurrent requests) and the fingerprint namespacing its keys.
+type plannerConf struct {
+	pl core.Planner
+	fp string
 }
 
 // Engine is the plan service for one training job. It is safe for
 // concurrent use.
 type Engine struct {
-	planner *core.Planner
 	store   *planstore.Store
 	workers int
+	single  bool
 
-	mu       sync.Mutex
-	cache    map[string]*core.Plan
-	inflight map[string]*call
-	// norm indexes the normalized plans seen so far for Best(n), one
-	// store per job fingerprint so technique/unroll retuning on the live
-	// planner can never surface a plan solved under different toggles.
-	norm map[string]*core.PlanStore
-	// programs caches compiled Programs alongside the plans they lower,
-	// keyed by schedule identity (plans are cached, so one plan's schedule
-	// is one pointer for the engine's lifetime).
-	programs map[*schedule.Schedule]*schedule.Program
-	// encoded caches a plan's wire encoding by schedule identity:
-	// schedules are immutable, so a warm-hit re-solve that returns the
-	// same schedule can re-persist under its new key namespace without
-	// paying the JSON encode again. (The cached bytes carry the metadata
-	// of the solve that first produced the schedule — in particular its
-	// PlanTime — which is exactly the provenance a stored plan reports.)
-	encoded map[*schedule.Schedule][]byte
-	// hintsN / hintsC retain the last successfully solved plan per
-	// normalized failure count and per concrete victim key, across
-	// fingerprints: hints deliberately cross cost-model namespaces, which
-	// is what makes the re-solve after a recalibration warm instead of
-	// scratch. Store-decoded plans carry no hint and are not retained.
-	hintsN map[int]*core.Plan
-	hintsC map[string]*core.Plan
-	// plannedN remembers which normalized counts have been requested, so
-	// Recalibrate re-solves exactly the working set.
+	// confMu guards the live planner's retunable fields (Costs via
+	// SetCostModel/MarkStraggler/Recalibrate) and the conf snapshot.
+	// Fetch paths take it shared for a three-field staleness check; only
+	// a configuration change takes it exclusively.
+	confMu  sync.RWMutex
+	planner *core.Planner
+	conf    *plannerConf
+
+	// epoch is the cache generation. InvalidateCache bumps it; cached
+	// plans, Best(n) indexes and compiled Programs admitted under older
+	// epochs become invisible lazily instead of being swept under a
+	// global lock.
+	epoch atomic.Uint64
+
+	// seed/stripeMask/stripes/pstripes are the lock-striped caches: plans
+	// and in-flight solves sharded by key hash, Programs and encoded plan
+	// bytes sharded by schedule identity.
+	seed       maphash.Seed
+	stripeMask uint64
+	stripes    []stripe
+	pstripes   []progStripe
+
+	// normMu guards norm, the per-fingerprint Best(n) indexes, each
+	// tagged with the epoch it serves.
+	normMu sync.Mutex
+	norm   map[string]*normIndex
+
+	// hintMu guards the warm-start state. hintsN / hintsC retain the last
+	// successfully solved plan per normalized failure count and per
+	// concrete victim key, across fingerprints: hints deliberately cross
+	// cost-model namespaces, which is what makes the re-solve after a
+	// recalibration warm instead of scratch. Store-decoded plans carry no
+	// hint and are not retained. plannedN remembers which normalized
+	// counts have been requested, so Recalibrate re-solves exactly the
+	// working set. Hints survive epoch bumps by design.
+	hintMu   sync.Mutex
+	hintsN   map[int]*core.Plan
+	hintsC   map[string]*core.Plan
 	plannedN map[int]bool
 
 	cacheHits, storeHits, bestHits       atomic.Uint64
@@ -108,12 +148,23 @@ type Engine struct {
 	compiles, programHits                atomic.Uint64
 	warmHits, warmReplays, scratchSolves atomic.Uint64
 	classDedups                          atomic.Uint64
+	stripeContended, programStoreHits    atomic.Uint64
+	warmedPlans, warmTargets             atomic.Uint64
+	confSwaps                            atomic.Uint64
 
 	// recalThreshold is the Recalibrate no-op band (Options.RecalibrateThreshold).
 	recalThreshold float64
 
-	// fps memoizes job fingerprints per (techniques, unroll) pair.
+	// fps memoizes job fingerprints per (techniques, unroll, costs) triple.
 	fps fpCache
+}
+
+// normIndex is one fingerprint's Best(n) index plus the epoch it was
+// built under; an index from an older epoch is rebuilt empty on first
+// touch (the lazy equivalent of the old stop-the-world map wipe).
+type normIndex struct {
+	store *core.PlanStore
+	epoch uint64
 }
 
 // New builds the plan service for a job.
@@ -138,20 +189,43 @@ func New(job config.Job, stats profile.Stats, opts Options) *Engine {
 	if threshold <= 0 {
 		threshold = DefaultRecalibrateThreshold
 	}
-	return &Engine{
+	nStripes := opts.Stripes
+	switch {
+	case opts.SingleMutex:
+		nStripes = 1
+	case nStripes <= 0:
+		nStripes = defaultStripes
+	default:
+		p := 1
+		for p < nStripes {
+			p <<= 1
+		}
+		nStripes = p
+	}
+	e := &Engine{
 		planner:        planner,
 		store:          store,
 		workers:        workers,
-		cache:          make(map[string]*core.Plan),
-		inflight:       make(map[string]*call),
-		norm:           make(map[string]*core.PlanStore),
-		programs:       make(map[*schedule.Schedule]*schedule.Program),
-		encoded:        make(map[*schedule.Schedule][]byte),
+		single:         opts.SingleMutex,
+		seed:           maphash.MakeSeed(),
+		stripeMask:     uint64(nStripes - 1),
+		stripes:        make([]stripe, nStripes),
+		pstripes:       make([]progStripe, nStripes),
+		norm:           make(map[string]*normIndex),
 		hintsN:         make(map[int]*core.Plan),
 		hintsC:         make(map[string]*core.Plan),
 		plannedN:       make(map[int]bool),
 		recalThreshold: threshold,
 	}
+	for i := range e.stripes {
+		e.stripes[i].plans = make(map[string]planEntry)
+		e.stripes[i].inflight = make(map[string]*call)
+	}
+	for i := range e.pstripes {
+		e.pstripes[i].programs = make(map[*schedule.Schedule]progEntry)
+		e.pstripes[i].encoded = make(map[*schedule.Schedule][]byte)
+	}
+	return e
 }
 
 // ShapeJob builds a synthetic unit-cost job whose only meaningful content
@@ -170,20 +244,63 @@ func ShapeJob(dp, pp, mb int) (config.Job, profile.Stats) {
 }
 
 // Planner exposes the underlying planner (for technique retuning and the
-// throughput helpers' inputs). The engine keys its cache by the planner's
-// live configuration — each request snapshots the configuration once, so
-// the key and the solve always agree — which makes retuning between
-// requests safe. Retuning concurrently with in-flight requests requires
-// external synchronization, like any unguarded field write.
+// throughput helpers' inputs). The fetch paths validate their
+// configuration snapshot against the live planner's retunable fields on
+// every request, so retuning between requests transparently addresses a
+// fresh key namespace. Retuning concurrently with in-flight requests
+// requires external synchronization, like any unguarded field write.
 func (e *Engine) Planner() *core.Planner { return e.planner }
 
-// snapshot copies the planner's current configuration so one request's
-// fingerprint and solve cannot see different technique toggles.
-func (e *Engine) snapshot() *core.Planner {
-	e.mu.Lock()
-	p := *e.planner
-	e.mu.Unlock()
-	return &p
+// config returns the current configuration snapshot, rebuilding it only
+// when the live planner's retunable fields (techniques, unroll window,
+// cost model identity) no longer match — a shared-lock three-field
+// compare on the hot path instead of the old per-request planner copy
+// plus cost-model signature.
+func (e *Engine) config() *plannerConf {
+	if e.single {
+		return e.legacyConf()
+	}
+	e.confMu.RLock()
+	c := e.conf
+	fresh := c != nil &&
+		c.pl.Techniques == e.planner.Techniques &&
+		c.pl.UnrollIterations == e.planner.UnrollIterations &&
+		c.pl.Costs == e.planner.Costs
+	e.confMu.RUnlock()
+	if fresh {
+		return c
+	}
+	return e.refreshConf()
+}
+
+// refreshConf rebuilds the configuration snapshot under the exclusive
+// lock (double-checked: a racing refresh publishes once).
+func (e *Engine) refreshConf() *plannerConf {
+	e.confMu.Lock()
+	defer e.confMu.Unlock()
+	if c := e.conf; c != nil &&
+		c.pl.Techniques == e.planner.Techniques &&
+		c.pl.UnrollIterations == e.planner.UnrollIterations &&
+		c.pl.Costs == e.planner.Costs {
+		return c
+	}
+	c := &plannerConf{pl: *e.planner}
+	c.fp = e.fps.of(&c.pl)
+	e.conf = c
+	e.confSwaps.Add(1)
+	return c
+}
+
+// legacyConf is the SingleMutex-mode configuration path: a full planner
+// copy under the exclusive lock plus a cost-model signature on every
+// request — the per-fetch work the striped engine is benchmarked against.
+func (e *Engine) legacyConf() *plannerConf {
+	e.confMu.Lock()
+	pl := *e.planner
+	e.confMu.Unlock()
+	c := &plannerConf{pl: pl}
+	c.fp = e.fps.of(&c.pl)
+	return c
 }
 
 // Job returns the job this engine plans for.
@@ -192,20 +309,21 @@ func (e *Engine) Job() config.Job { return e.planner.Job }
 // CostModel returns the current heterogeneous cost model (nil when the
 // engine plans with the homogeneous profiled stats).
 func (e *Engine) CostModel() *profile.CostModel {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.confMu.RLock()
+	defer e.confMu.RUnlock()
 	return e.planner.Costs
 }
 
 // SetCostModel installs a cost model. The model is treated as immutable:
 // callers must not mutate it after handing it over (use the copy-on-write
-// With* methods to derive variants). Plans already cached stay addressable
-// under their old fingerprint; subsequent fetches key into the new model's
-// namespace and re-solve on first miss.
+// With* methods to derive variants). The change invalidates lazily: plans
+// already cached stay addressable under their old fingerprint, and the
+// next fetch sees a stale configuration snapshot, rebuilds it, and keys
+// into the new model's namespace — no map is swept and no fetch blocks.
 func (e *Engine) SetCostModel(cm *profile.CostModel) {
-	e.mu.Lock()
+	e.confMu.Lock()
 	e.planner.Costs = cm
-	e.mu.Unlock()
+	e.confMu.Unlock()
 }
 
 // MarkStraggler records that a worker runs its ops at the given multiple
@@ -218,11 +336,11 @@ func (e *Engine) SetCostModel(cm *profile.CostModel) {
 // participating in all-reduce and optimizer steps). factor 1 clears the
 // mark.
 func (e *Engine) MarkStraggler(w schedule.Worker, factor float64) {
-	e.mu.Lock()
+	e.confMu.Lock()
 	cm := e.planner.Costs
 	if cm == nil {
 		if factor == 1 {
-			e.mu.Unlock()
+			e.confMu.Unlock()
 			return // clearing a mark that was never set
 		}
 		cm = profile.UniformCost(e.planner.Stats)
@@ -236,7 +354,7 @@ func (e *Engine) MarkStraggler(w schedule.Worker, factor float64) {
 		next = nil
 	}
 	e.planner.Costs = next
-	e.mu.Unlock()
+	e.confMu.Unlock()
 }
 
 // ClearStraggler removes a worker's straggler mark (recovered gray
@@ -246,6 +364,13 @@ func (e *Engine) ClearStraggler(w schedule.Worker) { e.MarkStraggler(w, 1) }
 
 // Store returns the replicated plan store backing this engine.
 func (e *Engine) Store() *planstore.Store { return e.store }
+
+// Epoch returns the current cache epoch. It advances exactly once per
+// InvalidateCache; a torn read is impossible (single atomic).
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
+// StripeCount returns the configured lock-stripe count.
+func (e *Engine) StripeCount() int { return len(e.stripes) }
 
 // Metrics returns a snapshot of the plan-traffic counters.
 func (e *Engine) Metrics() Metrics {
@@ -263,6 +388,13 @@ func (e *Engine) Metrics() Metrics {
 		WarmReplays:   e.warmReplays.Load(),
 		ScratchSolves: e.scratchSolves.Load(),
 		ClassDedups:   e.classDedups.Load(),
+
+		StripeContended:  e.stripeContended.Load(),
+		ProgramStoreHits: e.programStoreHits.Load(),
+		WarmedPlans:      e.warmedPlans.Load(),
+		WarmTargets:      e.warmTargets.Load(),
+		ConfSwaps:        e.confSwaps.Load(),
+		Epoch:            e.epoch.Load(),
 	}
 }
 
@@ -294,10 +426,9 @@ func (e *Engine) Plan(n int) (*core.Plan, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("engine: negative failure count %d", n)
 	}
-	pl := e.snapshot()
-	fp := e.fps.of(pl)
-	p, err := e.getOrSolve(normKey(fp, n), fp, true, func() (*core.Plan, error) {
-		return pl.PlanForHinted(n, e.hintNorm(n))
+	c := e.config()
+	p, err := e.getOrSolve(e.nkey(c.fp, n), c.fp, true, func() (*core.Plan, error) {
+		return c.pl.PlanForHinted(n, e.hintNorm(n))
 	})
 	if err == nil {
 		e.noteNorm(n, p)
@@ -315,44 +446,43 @@ func (e *Engine) Plan(n int) (*core.Plan, error) {
 func (e *Engine) PlanConcrete(failed []schedule.Worker) (*core.Plan, error) {
 	ws := append([]schedule.Worker(nil), failed...)
 	core.SortWorkers(ws)
-	pl := e.snapshot()
-	fp := e.fps.of(pl)
-	key := concreteKey(fp, ws)
+	c := e.config()
+	key := e.ckey(c.fp, ws)
 
 	var costs schedule.CostFunc
-	if pl.Costs != nil {
-		costs = pl.Costs.Fn()
+	if c.pl.Costs != nil {
+		costs = c.pl.Costs.Fn()
 	}
-	canon, perm, changed := schedule.CanonicalizeVictims(pl.Shape(), costs, ws)
+	canon, perm, changed := schedule.CanonicalizeVictims(c.pl.Shape(), costs, ws)
 	if !changed {
-		p, err := e.getOrSolve(key, fp, false, func() (*core.Plan, error) {
-			return pl.PlanConcreteHinted(ws, e.hintConcrete(ws))
+		p, err := e.getOrSolve(key, c.fp, false, func() (*core.Plan, error) {
+			return c.pl.PlanConcreteHinted(ws, e.hintConcrete(ws))
 		})
 		if err == nil {
 			e.noteConcrete(ws, p)
 		}
 		return p, err
 	}
-	if p, ok := e.peek(key, fp, false); ok {
+	if p, ok := e.peek(key, c.fp, false); ok {
 		return p, nil
 	}
 	e.classDedups.Add(1)
-	cp, err := e.getOrSolve(concreteKey(fp, canon), fp, false, func() (*core.Plan, error) {
-		return pl.PlanConcreteHinted(canon, e.hintConcrete(canon))
+	cp, err := e.getOrSolve(e.ckey(c.fp, canon), c.fp, false, func() (*core.Plan, error) {
+		return c.pl.PlanConcreteHinted(canon, e.hintConcrete(canon))
 	})
 	if err != nil {
 		return nil, err
 	}
 	e.noteConcrete(canon, cp)
 	p := core.RenamePlan(cp, schedule.InvertPerm(perm))
-	e.admit(key, fp, p, false)
+	e.admit(key, c.fp, p, false, e.epoch.Load())
 	return p, nil
 }
 
 // hintNorm returns the warm-start plan for a normalized count.
 func (e *Engine) hintNorm(n int) *core.Plan {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.hintMu.Lock()
+	defer e.hintMu.Unlock()
 	return e.hintsN[n]
 }
 
@@ -360,8 +490,8 @@ func (e *Engine) hintNorm(n int) *core.Plan {
 // set Recalibrate re-solves, and plans that carry a hint (i.e. came out of
 // the solver rather than the store codec) become the next warm start.
 func (e *Engine) noteNorm(n int, p *core.Plan) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.hintMu.Lock()
+	defer e.hintMu.Unlock()
 	e.plannedN[n] = true
 	if p.Hint != nil {
 		e.hintsN[n] = p
@@ -370,8 +500,8 @@ func (e *Engine) noteNorm(n int, p *core.Plan) {
 
 // hintConcrete returns the warm-start plan for a sorted victim set.
 func (e *Engine) hintConcrete(ws []schedule.Worker) *core.Plan {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.hintMu.Lock()
+	defer e.hintMu.Unlock()
 	return e.hintsC[victimKey(ws)]
 }
 
@@ -380,8 +510,8 @@ func (e *Engine) noteConcrete(ws []schedule.Worker, p *core.Plan) {
 	if p.Hint == nil {
 		return
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.hintMu.Lock()
+	defer e.hintMu.Unlock()
 	e.hintsC[victimKey(ws)] = p
 }
 
@@ -390,14 +520,17 @@ func (e *Engine) noteConcrete(ws []schedule.Worker, p *core.Plan) {
 // replicated store's contents — while keeping the warm-start hints and the
 // immutable encoded-plan bytes. It models plan-state loss (a planner
 // restart, a store wipe, a membership change that voids cached plans): the
-// next PlanAll re-derives every plan, and the retained hints make the
+// next Warm re-derives every plan, and the retained hints make the
 // re-derivation a warm validation pass instead of a scratch solve.
+//
+// Invalidation is a single epoch bump: entries admitted under older
+// epochs stop being served but are never swept under a lock, so in-flight
+// fetches on other stripes proceed untouched. A caller that coalesced
+// onto a solve started before the bump still gets a correct plan — plans
+// are pure functions of their key — it is merely re-derived again on the
+// next fetch.
 func (e *Engine) InvalidateCache() {
-	e.mu.Lock()
-	e.cache = make(map[string]*core.Plan)
-	e.norm = make(map[string]*core.PlanStore)
-	e.programs = make(map[*schedule.Schedule]*schedule.Program)
-	e.mu.Unlock()
+	e.epoch.Add(1)
 	e.store.Clear()
 }
 
@@ -407,28 +540,31 @@ func (e *Engine) InvalidateCache() {
 // down). The exact count is first sought in the cache and the replicated
 // store.
 func (e *Engine) Best(n int) (*core.Plan, bool) {
-	fp := e.fps.of(e.snapshot())
-	if p, ok := e.peek(normKey(fp, n), fp, true); ok {
+	c := e.config()
+	ep := e.epoch.Load()
+	if p, ok := e.peek(e.nkey(c.fp, n), c.fp, true); ok {
 		return p, true
 	}
-	return e.normStore(fp).Best(n)
+	return e.normStore(c.fp, ep).Best(n)
 }
 
 // best is Best without the traffic counters, used by ScheduleFor so each
 // Coordinator fetch lands in exactly one metrics tier.
 func (e *Engine) best(fp string, n int) (*core.Plan, bool) {
-	key := normKey(fp, n)
-	e.mu.Lock()
-	if p, ok := e.cache[key]; ok {
-		e.mu.Unlock()
-		return p, true
+	key := e.nkey(fp, n)
+	st := e.stripeFor(key)
+	ep := e.epoch.Load()
+	e.lockShared(&st.mu)
+	ent, ok := st.plans[key]
+	e.unlockShared(&st.mu)
+	if ok && ent.epoch == e.epoch.Load() {
+		return ent.plan, true
 	}
-	e.mu.Unlock()
 	if p := e.loadQuiet(key); p != nil {
-		e.admit(key, fp, p, true)
+		e.admit(key, fp, p, true, ep)
 		return p, true
 	}
-	return e.normStore(fp).Best(n)
+	return e.normStore(fp, ep).Best(n)
 }
 
 // ScheduleFor is the Coordinator's failure-handling path (§4.1, Fig 8):
@@ -449,11 +585,11 @@ func (e *Engine) ScheduleFor(failed map[schedule.Worker]bool) (*schedule.Schedul
 		ws = append(ws, w)
 	}
 	core.SortWorkers(ws)
-	fp := e.fps.of(e.snapshot())
-	if p, ok := e.peek(concreteKey(fp, ws), fp, false); ok {
+	c := e.config()
+	if p, ok := e.peek(e.ckey(c.fp, ws), c.fp, false); ok {
 		return p.Schedule, nil
 	}
-	if p, ok := e.best(fp, len(ws)); ok {
+	if p, ok := e.best(c.fp, len(ws)); ok {
 		norm := append([]schedule.Worker(nil), p.Failed...)
 		core.SortWorkers(norm)
 		if sameWorkers(norm, ws) {
@@ -468,80 +604,58 @@ func (e *Engine) ScheduleFor(failed map[schedule.Worker]bool) (*schedule.Schedul
 	return p.Schedule, nil
 }
 
-// PlanAll precomputes normalized plans for 0..maxFailures simultaneous
-// failures — the offline phase of Fig 8 — fanning the independent solves
-// out over a bounded worker pool. maxFailures <= 0 selects the job's
-// fault-tolerance threshold (default DP-1). Every plan lands in the cache
-// and the replicated store.
-func (e *Engine) PlanAll(maxFailures int) error {
-	if maxFailures <= 0 {
-		maxFailures = e.planner.Job.MaxPlannedFailures()
-	}
-	sem := make(chan struct{}, e.workers)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for f := 0; f <= maxFailures; f++ {
-		wg.Add(1)
-		go func(f int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			mu.Lock()
-			stop := firstErr != nil
-			mu.Unlock()
-			if stop {
-				return
-			}
-			if _, err := e.Plan(f); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("engine: planning %d failures: %w", f, err)
-				}
-				mu.Unlock()
-			}
-		}(f)
-	}
-	wg.Wait()
-	return firstErr
-}
-
 // peek returns the plan under key from the cache or the replicated store
 // without ever solving. Store hits are promoted into the cache (and the
 // Best(n) index when normalized).
 func (e *Engine) peek(key, fp string, normalized bool) (*core.Plan, bool) {
-	e.mu.Lock()
-	if p, ok := e.cache[key]; ok {
-		e.mu.Unlock()
+	st := e.stripeFor(key)
+	ep := e.epoch.Load()
+	e.lockShared(&st.mu)
+	ent, ok := st.plans[key]
+	e.unlockShared(&st.mu)
+	if ok && ent.epoch == e.epoch.Load() {
 		e.cacheHits.Add(1)
-		return p, true
+		return ent.plan, true
 	}
-	e.mu.Unlock()
 	if p := e.load(key); p != nil {
-		e.admit(key, fp, p, normalized)
+		e.admit(key, fp, p, normalized, ep)
 		return p, true
 	}
 	return nil, false
 }
 
 // getOrSolve is the coalescing get-or-solve core: one solve per key no
-// matter how many callers arrive concurrently.
+// matter how many callers arrive concurrently. Coalescing is per-stripe —
+// a solve on one fingerprint never blocks a hit on another — and the
+// striped engine probes the cache under the shared lock before touching
+// the exclusive inflight path at all.
 func (e *Engine) getOrSolve(key, fp string, normalized bool, solve func() (*core.Plan, error)) (*core.Plan, error) {
-	e.mu.Lock()
-	if p, ok := e.cache[key]; ok {
-		e.mu.Unlock()
-		e.cacheHits.Add(1)
-		return p, nil
+	st := e.stripeFor(key)
+	ep := e.epoch.Load()
+	if !e.single {
+		e.lockShared(&st.mu)
+		ent, ok := st.plans[key]
+		e.unlockShared(&st.mu)
+		if ok && ent.epoch == e.epoch.Load() {
+			e.cacheHits.Add(1)
+			return ent.plan, nil
+		}
 	}
-	if c, ok := e.inflight[key]; ok {
-		e.mu.Unlock()
+	e.lockExcl(&st.mu)
+	if ent, ok := st.plans[key]; ok && ent.epoch == e.epoch.Load() {
+		st.mu.Unlock()
+		e.cacheHits.Add(1)
+		return ent.plan, nil
+	}
+	if c, ok := st.inflight[key]; ok {
+		st.mu.Unlock()
 		e.coalesced.Add(1)
 		<-c.done
 		return c.plan, c.err
 	}
 	c := &call{done: make(chan struct{})}
-	e.inflight[key] = c
-	e.mu.Unlock()
+	st.inflight[key] = c
+	st.mu.Unlock()
 
 	p := e.load(key)
 	var err error
@@ -561,11 +675,11 @@ func (e *Engine) getOrSolve(key, fp string, normalized bool, solve func() (*core
 		}
 	}
 	if err == nil {
-		e.admit(key, fp, p, normalized)
+		e.admit(key, fp, p, normalized, ep)
 	}
-	e.mu.Lock()
-	delete(e.inflight, key)
-	e.mu.Unlock()
+	e.lockExcl(&st.mu)
+	delete(st.inflight, key)
+	st.mu.Unlock()
 	c.plan, c.err = p, err
 	close(c.done)
 	return p, err
@@ -607,9 +721,10 @@ func (e *Engine) loadQuiet(key string) *core.Plan {
 // so a warm-hit re-solve that returns an already-encoded schedule
 // replicates the cached bytes instead of re-marshaling 10k+ placements.
 func (e *Engine) persist(key string, p *core.Plan) {
-	e.mu.Lock()
-	data, ok := e.encoded[p.Schedule]
-	e.mu.Unlock()
+	ps := e.progStripeFor(p.Schedule)
+	e.lockShared(&ps.mu)
+	data, ok := ps.encoded[p.Schedule]
+	e.unlockShared(&ps.mu)
 	if !ok {
 		var err error
 		data, err = EncodePlan(p)
@@ -617,36 +732,46 @@ func (e *Engine) persist(key string, p *core.Plan) {
 			e.storeErrs.Add(1)
 			return
 		}
-		e.mu.Lock()
-		e.encoded[p.Schedule] = data
-		e.mu.Unlock()
+		e.lockExcl(&ps.mu)
+		if prev, ok := ps.encoded[p.Schedule]; ok {
+			data = prev
+		} else {
+			ps.encoded[p.Schedule] = data
+		}
+		ps.mu.Unlock()
 	}
 	if err := e.store.Put(key, data); err != nil {
 		e.storeErrs.Add(1)
 	}
 }
 
-// admit installs a plan into the in-process cache and, for normalized
-// plans, the fingerprint's Best(n) index.
-func (e *Engine) admit(key, fp string, p *core.Plan, normalized bool) {
-	e.mu.Lock()
-	e.cache[key] = p
-	e.mu.Unlock()
+// admit installs a plan into the in-process cache under the epoch its
+// request began in and, for normalized plans, the fingerprint's Best(n)
+// index. An entry admitted under a newer epoch is never replaced by a
+// stale one.
+func (e *Engine) admit(key, fp string, p *core.Plan, normalized bool, ep uint64) {
+	st := e.stripeFor(key)
+	e.lockExcl(&st.mu)
+	if ent, ok := st.plans[key]; !ok || ent.epoch <= ep {
+		st.plans[key] = planEntry{plan: p, epoch: ep}
+	}
+	st.mu.Unlock()
 	if normalized {
 		// Put only rejects empty plans, which cannot reach here.
-		_ = e.normStore(fp).Put(p)
+		_ = e.normStore(fp, ep).Put(p)
 	}
 }
 
-// normStore returns (creating on first use) the Best(n) index for one job
-// fingerprint.
-func (e *Engine) normStore(fp string) *core.PlanStore {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s := e.norm[fp]
-	if s == nil {
-		s = core.NewPlanStore()
-		e.norm[fp] = s
+// normStore returns the Best(n) index for one job fingerprint at the
+// given epoch, lazily rebuilding an index whose epoch is stale.
+func (e *Engine) normStore(fp string, ep uint64) *core.PlanStore {
+	e.normMu.Lock()
+	defer e.normMu.Unlock()
+	ni := e.norm[fp]
+	if ni != nil && ni.epoch >= ep {
+		return ni.store
 	}
-	return s
+	ni = &normIndex{store: core.NewPlanStore(), epoch: ep}
+	e.norm[fp] = ni
+	return ni.store
 }

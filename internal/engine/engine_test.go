@@ -33,7 +33,7 @@ func analyticJob(t *testing.T) (config.Job, profile.Stats) {
 func TestPlanAllParallelMatchesSequential(t *testing.T) {
 	job, stats := analyticJob(t)
 	eng := New(job, stats, Options{UnrollIterations: 2})
-	if err := eng.PlanAll(0); err != nil {
+	if err := eng.Warm(0).Wait(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -106,7 +106,7 @@ func TestSharedStoreServesSecondEngine(t *testing.T) {
 	job, stats := analyticJob(t)
 	store := planstore.New(3)
 	engA := New(job, stats, Options{UnrollIterations: 2, Store: store})
-	if err := engA.PlanAll(2); err != nil {
+	if err := engA.Warm(2).Wait(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -140,7 +140,7 @@ func TestSharedStoreServesSecondEngine(t *testing.T) {
 func TestScheduleForCoordinatorFlow(t *testing.T) {
 	job, stats := ShapeJob(3, 4, 6)
 	eng := New(job, stats, Options{UnrollIterations: 1})
-	if err := eng.PlanAll(2); err != nil {
+	if err := eng.Warm(2).Wait(); err != nil {
 		t.Fatal(err)
 	}
 	base := eng.Metrics().Solves
@@ -244,7 +244,7 @@ func TestTechniqueRetuningAddressesNewNamespace(t *testing.T) {
 func TestScheduleForNeverCrossesTechniqueNamespace(t *testing.T) {
 	job, stats := ShapeJob(3, 4, 6)
 	eng := New(job, stats, Options{UnrollIterations: 4})
-	if err := eng.PlanAll(0); err != nil {
+	if err := eng.Warm(0).Wait(); err != nil {
 		t.Fatal(err)
 	}
 	full, err := eng.Plan(1)

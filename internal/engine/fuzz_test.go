@@ -54,3 +54,57 @@ func FuzzDecodePlan(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeProgram is the Program-codec counterpart of FuzzDecodePlan:
+// remote executors decode these artifacts straight out of the replicated
+// store, so arbitrary bytes must either be rejected or produce a fully
+// validated, re-encodable Program — never a panic, never a half-built
+// artifact that executes.
+func FuzzDecodeProgram(f *testing.F) {
+	job, stats := ShapeJob(2, 2, 4)
+	eng := New(job, stats, Options{UnrollIterations: 1})
+	for n := 0; n <= 1; n++ {
+		p, err := eng.Program(n)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := EncodeProgram(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"Version":1}`))
+	f.Add([]byte(`{"Version":1,"Shape":{"DP":2,"PP":2,"MB":4,"Iter":1},"Instrs":[{"Op":{}}]}`))
+	f.Add([]byte(`{"Version":99,"Instrs":[{}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeProgram(data)
+		if err != nil {
+			return // rejected, fine
+		}
+		if p == nil || len(p.Instrs) == 0 || len(p.Streams) == 0 {
+			t.Fatalf("DecodeProgram accepted bytes but produced a hollow program: %+v", p)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("DecodeProgram returned an invalid program: %v", err)
+		}
+		re, err := EncodeProgram(p)
+		if err != nil {
+			t.Fatalf("accepted program does not re-encode: %v", err)
+		}
+		back, err := DecodeProgram(re)
+		if err != nil {
+			t.Fatalf("re-encoded program does not decode: %v", err)
+		}
+		a, err := EncodeProgram(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, a) {
+			t.Fatal("encode(decode(encode(p))) is not a fixed point")
+		}
+	})
+}

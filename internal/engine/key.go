@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"slices"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -50,8 +51,9 @@ func Fingerprint(job config.Job, stats profile.Stats, t core.Techniques, unroll 
 // fpCache memoizes fingerprints per engine. A planner's Job and Stats are
 // immutable for the engine's lifetime; only the technique toggles, the
 // unroll window and the cost model can be retuned, so they key the memo.
-// The fetch paths run once per runtime iteration — without the memo every
-// fetch re-marshals the full Job+Stats to JSON and hashes it.
+// The striped engine consults it once per configuration snapshot rebuild;
+// the SingleMutex baseline pays the Signature call on every fetch, as the
+// pre-striping engine did.
 type fpCache struct {
 	mu sync.Mutex
 	m  map[fpKey]string
@@ -83,17 +85,50 @@ func (c *fpCache) of(p *core.Planner) string {
 	return fp
 }
 
-// normKey addresses the normalized plan for n simultaneous failures — the
-// paper's "one plan per tolerated failure count" store layout (§4.2).
-func normKey(fp string, n int) string {
-	return fmt.Sprintf("plans/%s/n/%d", fp, n)
+// nkey addresses the normalized plan for n simultaneous failures — the
+// paper's "one plan per tolerated failure count" store layout (§4.2). The
+// striped engine builds it with append-style concatenation; the
+// SingleMutex baseline keeps the original fmt path (identical string,
+// pre-striping cost).
+func (e *Engine) nkey(fp string, n int) string {
+	if e.single {
+		return fmt.Sprintf("plans/%s/n/%d", fp, n)
+	}
+	return "plans/" + fp + "/n/" + strconv.Itoa(n)
 }
 
-// concreteKey addresses a plan solved for one specific failed-worker set,
-// used by the live runtime when no normalized plan matches. Workers must
+// ckey addresses a plan solved for one specific failed-worker set, used
+// by the live runtime when no normalized plan matches. Workers must
 // already be sorted.
-func concreteKey(fp string, ws []schedule.Worker) string {
-	return fmt.Sprintf("plans/%s/c/%s", fp, victimKey(ws))
+func (e *Engine) ckey(fp string, ws []schedule.Worker) string {
+	if e.single {
+		parts := make([]string, len(ws))
+		for i, w := range ws {
+			parts[i] = fmt.Sprintf("%d.%d", w.Stage, w.Pipeline)
+		}
+		return fmt.Sprintf("plans/%s/c/%s", fp, strings.Join(parts, ","))
+	}
+	var b strings.Builder
+	b.Grow(len(fp) + 9 + len(ws)*8)
+	b.WriteString("plans/")
+	b.WriteString(fp)
+	b.WriteString("/c/")
+	appendVictims(&b, ws)
+	return b.String()
+}
+
+// programKey addresses a compiled Program artifact in the replicated
+// store: the plan namespace plus the schedule's sorted failed set. Any
+// process sharing the store — the engine that compiled it or a remote
+// executor's fetch-only Client — derives the same key.
+func programKey(fp string, ws []schedule.Worker) string {
+	var b strings.Builder
+	b.Grow(len(fp) + 10 + len(ws)*8)
+	b.WriteString("programs/")
+	b.WriteString(fp)
+	b.WriteString("/")
+	appendVictims(&b, ws)
+	return b.String()
 }
 
 // victimKey renders a sorted victim set as a fingerprint-independent key —
@@ -101,11 +136,23 @@ func concreteKey(fp string, ws []schedule.Worker) string {
 // spans cost-model namespaces (that is what keeps a post-recalibration
 // re-solve warm).
 func victimKey(ws []schedule.Worker) string {
-	parts := make([]string, len(ws))
+	var b strings.Builder
+	b.Grow(len(ws) * 8)
+	appendVictims(&b, ws)
+	return b.String()
+}
+
+// appendVictims writes the canonical "stage.pipeline,..." rendering of a
+// sorted victim set.
+func appendVictims(b *strings.Builder, ws []schedule.Worker) {
 	for i, w := range ws {
-		parts[i] = fmt.Sprintf("%d.%d", w.Stage, w.Pipeline)
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(w.Stage))
+		b.WriteByte('.')
+		b.WriteString(strconv.Itoa(w.Pipeline))
 	}
-	return strings.Join(parts, ",")
 }
 
 // sameWorkers reports whether two sorted worker lists are identical.

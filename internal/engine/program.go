@@ -44,29 +44,91 @@ func (e *Engine) CompiledProgram(p *core.Plan) (*schedule.Program, error) {
 	return e.compiled(p.Schedule)
 }
 
-// compiled memoizes schedule.Compile per schedule. Plans are cached and
-// shared, so identity keying makes every consumer of one plan share one
-// Program. Concurrent first requests may compile twice; both results are
-// structurally identical and the map keeps one.
+// compiled resolves a schedule's Program: per-stripe memo (identity
+// keying — plans are cached and shared, so one plan's schedule is one
+// pointer), then the replicated store (another engine sharing the store
+// may have compiled and replicated the artifact already), then a local
+// Compile that is encoded and replicated for everyone else. Concurrent
+// first requests may compile twice; both results are structurally
+// identical and the stripe keeps one.
 func (e *Engine) compiled(s *schedule.Schedule) (*schedule.Program, error) {
-	e.mu.Lock()
-	if p, ok := e.programs[s]; ok {
-		e.mu.Unlock()
+	ps := e.progStripeFor(s)
+	ep := e.epoch.Load()
+	e.lockShared(&ps.mu)
+	ent, ok := ps.programs[s]
+	e.unlockShared(&ps.mu)
+	if ok && ent.epoch == e.epoch.Load() {
 		e.programHits.Add(1)
-		return p, nil
+		return ent.prog, nil
 	}
-	e.mu.Unlock()
+
+	// The store key uses the current configuration's namespace, but the
+	// schedule in hand may have been solved under an older one (a cost
+	// model retired between the fetch and this lowering), so a decoded
+	// artifact is only accepted when it demonstrably lowers THIS schedule.
+	key := programKey(e.config().fp, workerList(s.Failed))
+	data, found, err := e.store.Get(key)
+	if err != nil {
+		e.storeErrs.Add(1)
+	} else if found {
+		if prog, err := DecodeProgram(data); err == nil && programMatches(prog, s) {
+			e.programStoreHits.Add(1)
+			return e.admitProgram(s, prog, ep), nil
+		}
+	}
+
 	prog, err := schedule.Compile(s)
 	if err != nil {
 		return nil, err
 	}
 	e.compiles.Add(1)
-	e.mu.Lock()
-	if prev, ok := e.programs[s]; ok {
-		prog = prev
-	} else {
-		e.programs[s] = prog
+	prog = e.admitProgram(s, prog, ep)
+	if data, err := EncodeProgram(prog); err != nil {
+		e.storeErrs.Add(1)
+	} else if err := e.store.Put(key, data); err != nil {
+		e.storeErrs.Add(1)
 	}
-	e.mu.Unlock()
 	return prog, nil
+}
+
+// admitProgram installs a Program into its schedule's stripe under the
+// request's epoch, keeping an existing entry from the same or a newer
+// epoch (first compile wins on a race).
+func (e *Engine) admitProgram(s *schedule.Schedule, prog *schedule.Program, ep uint64) *schedule.Program {
+	ps := e.progStripeFor(s)
+	e.lockExcl(&ps.mu)
+	if ent, ok := ps.programs[s]; ok && ent.epoch >= ep {
+		prog = ent.prog
+	} else {
+		ps.programs[s] = progEntry{prog: prog, epoch: ep}
+	}
+	ps.mu.Unlock()
+	return prog
+}
+
+// programMatches reports whether a decoded Program is exactly the lowering
+// of the given schedule: same shape, durations, failed set, and one
+// instruction per placement with matching op and stamped span. It guards
+// the store fetch against stale artifacts left under a reused key.
+func programMatches(p *schedule.Program, s *schedule.Schedule) bool {
+	if p.Shape != s.Shape || p.Durations != s.Durations {
+		return false
+	}
+	if len(p.Failed) != len(s.Failed) {
+		return false
+	}
+	for w := range s.Failed {
+		if !p.Failed[w] {
+			return false
+		}
+	}
+	if len(p.Instrs) != len(s.Placements) {
+		return false
+	}
+	for i, pl := range s.Placements {
+		if p.Instrs[i].Op != pl.Op || p.Instrs[i].Dur != pl.End-pl.Start {
+			return false
+		}
+	}
+	return true
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"recycle/internal/profile"
@@ -46,9 +47,11 @@ type Recalibration struct {
 // quantized to 2 decimals to keep sub-noise drift from minting a fresh
 // plan namespace per call, and the re-solves are warm-started by the
 // engine's retained hints: when the quantized model leaves a plan's
-// durations unchanged the re-solve is a validation pass, and when a
-// stage's workers all drifted together (stage-flat costs, routing
-// preserved) it is an order-replay — cheap enough to run the loop freely.
+// durations unchanged the re-solve is a validation pass, and when the
+// whole fleet rescaled uniformly it is an order-replay. Non-uniform drift
+// abandons the hint path immediately and re-solves from scratch — the
+// relative op costs changed, so replaying the old order would only tax
+// the solve it races.
 func (e *Engine) Recalibrate(measured map[schedule.Worker]time.Duration) (Recalibration, error) {
 	var rec Recalibration
 	ws := make([]schedule.Worker, 0, len(measured))
@@ -62,7 +65,7 @@ func (e *Engine) Recalibrate(measured map[schedule.Worker]time.Duration) (Recali
 	}
 	schedule.SortWorkers(ws)
 
-	pl := e.snapshot()
+	pl := &e.config().pl
 	model := pl.Costs
 	if model == nil {
 		model = profile.UniformCost(pl.Stats)
@@ -114,21 +117,50 @@ func (e *Engine) Recalibrate(measured map[schedule.Worker]time.Duration) (Recali
 	if len(next.WorkerScale) == 0 && len(next.StageScale) == 0 && next.Base == pl.Stats.Durations() {
 		next = nil
 	}
-	e.mu.Lock()
+	e.confMu.Lock()
 	e.planner.Costs = next
+	e.confMu.Unlock()
+	e.hintMu.Lock()
 	counts := make([]int, 0, len(e.plannedN))
 	for n := range e.plannedN {
 		counts = append(counts, n)
 	}
-	e.mu.Unlock()
+	e.hintMu.Unlock()
 	sort.Ints(counts)
 
+	// The working-set re-solves are independent warm re-plans; fan them
+	// out over the same bounded pool Warm uses instead of serializing them
+	// behind one another.
+	sem := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
 	for _, n := range counts {
-		if _, err := e.Plan(n); err != nil {
-			return rec, fmt.Errorf("engine: re-planning %d failures after recalibration: %w", n, err)
-		}
-		rec.Replanned = append(rec.Replanned, n)
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mu.Lock()
+			stop := firstErr != nil
+			mu.Unlock()
+			if stop {
+				return
+			}
+			if _, err := e.Plan(n); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("engine: re-planning %d failures after recalibration: %w", n, err)
+				}
+				mu.Unlock()
+			}
+		}(n)
 	}
+	wg.Wait()
+	if firstErr != nil {
+		return rec, firstErr
+	}
+	rec.Replanned = counts
 	return rec, nil
 }
 

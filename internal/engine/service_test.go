@@ -1,0 +1,311 @@
+package engine
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"recycle/internal/planstore"
+	"recycle/internal/schedule"
+)
+
+// checkServed validates one ScheduleFor answer against its request: the
+// schedule exists, routes around exactly the requested failed set, and
+// places no op on a failed worker.
+func checkServed(t *testing.T, s *schedule.Schedule, failed map[schedule.Worker]bool) {
+	t.Helper()
+	if s == nil || len(s.Placements) == 0 {
+		t.Fatal("ScheduleFor served an empty schedule")
+	}
+	for w := range failed {
+		if !s.Failed[w] {
+			t.Fatalf("served schedule does not route around requested failure %s", w)
+		}
+	}
+	if len(s.Failed) != len(failed) {
+		t.Fatalf("served schedule fails %d workers, request failed %d", len(s.Failed), len(failed))
+	}
+	for _, p := range s.Placements {
+		if s.Failed[p.Op.Worker()] {
+			t.Fatalf("placement %v runs on failed worker %s", p.Op, p.Op.Worker())
+		}
+	}
+}
+
+// drawVictims draws up to maxF distinct workers from a dp x pp grid —
+// never a full stage, so every set is plannable.
+func drawVictims(rng *rand.Rand, dp, pp, maxF int) map[schedule.Worker]bool {
+	k := rng.Intn(maxF + 1)
+	if k == 0 {
+		return nil
+	}
+	failed := make(map[schedule.Worker]bool, k)
+	for len(failed) < k {
+		failed[schedule.Worker{Stage: rng.Intn(pp), Pipeline: rng.Intn(dp)}] = true
+	}
+	return failed
+}
+
+// TestWarmConcurrentWithScheduleStorm pins the tentpole concurrency
+// property: the background warming pipeline and a ScheduleFor storm run
+// against the same engine at the same time, every request is answered
+// correctly, and warming still reaches full coverage.
+func TestWarmConcurrentWithScheduleStorm(t *testing.T) {
+	job, stats := ShapeJob(4, 3, 6)
+	eng := New(job, stats, Options{UnrollIterations: 1})
+	const maxF = 2
+
+	w := eng.Warm(maxF)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 1))
+			for i := 0; i < 40; i++ {
+				failed := drawVictims(rng, 4, 3, maxF)
+				s, err := eng.ScheduleFor(failed)
+				if err != nil {
+					t.Errorf("fetch during warm: %v", err)
+					return
+				}
+				checkServed(t, s, failed)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Wait(); err != nil {
+		t.Fatalf("warm alongside storm: %v", err)
+	}
+	done, total := w.Coverage()
+	if done != total || total != maxF+1 {
+		t.Fatalf("warm coverage %d/%d, want %d/%d", done, total, maxF+1, maxF+1)
+	}
+	m := eng.Metrics()
+	if m.WarmedPlans != uint64(maxF+1) || m.WarmTargets != uint64(maxF+1) {
+		t.Fatalf("warm counters %d/%d, want %d/%d", m.WarmedPlans, m.WarmTargets, maxF+1, maxF+1)
+	}
+}
+
+// TestChurnRaceStress drives every mutating path concurrently with a
+// fetch storm: straggler marks and clears, recalibrations in and out of
+// drift, and cache invalidations, all while fetchers validate every
+// schedule they are served. Run under -race this is the data-race proof
+// for the striped engine; the epoch watcher additionally asserts the
+// cache generation is monotonic (no torn epoch reads).
+func TestChurnRaceStress(t *testing.T) {
+	job, stats := ShapeJob(3, 3, 4)
+	eng := New(job, stats, Options{UnrollIterations: 1})
+	if err := eng.Warm(2).Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Fetch storm: every served schedule is validated against its request.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 100))
+			for i := 0; i < 40; i++ {
+				failed := drawVictims(rng, 3, 3, 2)
+				s, err := eng.ScheduleFor(failed)
+				if err != nil {
+					t.Errorf("fetch under churn: %v", err)
+					return
+				}
+				checkServed(t, s, failed)
+			}
+		}(g)
+	}
+
+	// Straggler churn: mark and clear, flipping the plan namespace.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := schedule.Worker{Stage: 1, Pipeline: 1}
+		for i := 0; i < 20 && !stop.Load(); i++ {
+			eng.MarkStraggler(w, 1.5)
+			eng.ClearStraggler(w)
+		}
+	}()
+
+	// Recalibration churn: drift in, then uniform measurements drift out.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sh := eng.Planner().Shape()
+		drifted := make(map[schedule.Worker]time.Duration)
+		uniform := make(map[schedule.Worker]time.Duration)
+		for s := 0; s < sh.PP; s++ {
+			for p := 0; p < sh.DP; p++ {
+				w := schedule.Worker{Stage: s, Pipeline: p}
+				uniform[w] = 100 * time.Millisecond
+				if s == 0 {
+					drifted[w] = 130 * time.Millisecond
+				} else {
+					drifted[w] = 100 * time.Millisecond
+				}
+			}
+		}
+		for i := 0; i < 4 && !stop.Load(); i++ {
+			if _, err := eng.Recalibrate(drifted); err != nil {
+				t.Errorf("recalibrate in: %v", err)
+				return
+			}
+			if _, err := eng.Recalibrate(uniform); err != nil {
+				t.Errorf("recalibrate out: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Invalidation churn plus the torn-epoch watcher.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := eng.Epoch()
+		for i := 0; i < 6 && !stop.Load(); i++ {
+			eng.InvalidateCache()
+			ep := eng.Epoch()
+			if ep < last {
+				t.Errorf("epoch went backwards: %d after %d", ep, last)
+				return
+			}
+			last = ep
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	stop.Store(true)
+	if m := eng.Metrics(); m.Epoch < 6 {
+		t.Fatalf("epoch %d after 6 invalidations", m.Epoch)
+	}
+	// The service must still answer cleanly after the storm settles.
+	s, err := eng.ScheduleFor(map[schedule.Worker]bool{{Stage: 0, Pipeline: 1}: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkServed(t, s, map[schedule.Worker]bool{{Stage: 0, Pipeline: 1}: true})
+}
+
+// TestProgramCodecRoundTrip pins the wire format: a compiled Program
+// encodes, decodes back field-for-field, and re-encodes to identical
+// bytes (streams are emitted in deterministic worker order).
+func TestProgramCodecRoundTrip(t *testing.T) {
+	job, stats := ShapeJob(3, 2, 4)
+	eng := New(job, stats, Options{UnrollIterations: 1})
+	prog, err := eng.ProgramFor(map[schedule.Worker]bool{{Stage: 1, Pipeline: 2}: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Shape != prog.Shape || back.Durations != prog.Durations {
+		t.Fatalf("shape/durations changed across the codec: %+v vs %+v", back.Shape, prog.Shape)
+	}
+	if !reflect.DeepEqual(back.Failed, prog.Failed) {
+		t.Fatalf("failed set changed across the codec: %v vs %v", back.Failed, prog.Failed)
+	}
+	if !reflect.DeepEqual(back.Instrs, prog.Instrs) {
+		t.Fatal("instructions changed across the codec")
+	}
+	if !reflect.DeepEqual(back.Streams, prog.Streams) {
+		t.Fatal("streams changed across the codec")
+	}
+	re, err := EncodeProgram(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, re) {
+		t.Fatal("encode(decode(data)) != data — stream order is not canonical")
+	}
+}
+
+// TestProgramCodecRejections pins the codec's refusals: wrong version,
+// empty program, and instruction IDs that disagree with list positions.
+func TestProgramCodecRejections(t *testing.T) {
+	job, stats := ShapeJob(2, 2, 4)
+	eng := New(job, stats, Options{UnrollIterations: 1})
+	prog, err := eng.Program(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EncodeProgram(nil); err == nil {
+		t.Fatal("EncodeProgram accepted a nil program")
+	}
+	bad := *prog
+	bad.Instrs = append([]schedule.Instr(nil), prog.Instrs...)
+	bad.Instrs[0].ID = 7
+	if _, err := EncodeProgram(&bad); err == nil {
+		t.Fatal("EncodeProgram accepted an instruction whose ID disagrees with its position")
+	}
+	data, err := EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(data, []byte(`"Version":1`), []byte(`"Version":2`), 1)
+	if _, err := DecodeProgram(tampered); err == nil {
+		t.Fatal("DecodeProgram accepted a future codec version")
+	}
+	if _, err := DecodeProgram([]byte(`{"Version":1,"Instrs":[]}`)); err == nil {
+		t.Fatal("DecodeProgram accepted an empty program")
+	}
+}
+
+// TestProgramStoreRoundTrip pins the replicated Program artifacts: an
+// engine that compiles a Program replicates its encoded form, and a
+// second engine sharing the store (same configuration, fresh caches)
+// serves the same failure set by decoding the artifact instead of
+// compiling — the cross-process fetch path remote executors rely on.
+func TestProgramStoreRoundTrip(t *testing.T) {
+	store := planstore.New(3)
+	job, stats := ShapeJob(3, 2, 4)
+	failed := map[schedule.Worker]bool{{Stage: 0, Pipeline: 1}: true}
+
+	engA := New(job, stats, Options{UnrollIterations: 1, Store: store})
+	pa, err := engA.ProgramFor(failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := engA.Metrics(); m.Compiles != 1 {
+		t.Fatalf("coordinator compiled %d times, want 1", m.Compiles)
+	}
+
+	engB := New(job, stats, Options{UnrollIterations: 1, Store: store})
+	pb, err := engB.ProgramFor(failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := engB.Metrics()
+	if m.Compiles != 0 {
+		t.Fatalf("second engine compiled %d times, want 0 (artifact was replicated)", m.Compiles)
+	}
+	if m.ProgramStoreHits != 1 {
+		t.Fatalf("ProgramStoreHits = %d, want 1", m.ProgramStoreHits)
+	}
+	da, err := EncodeProgram(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := EncodeProgram(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Fatal("store-decoded Program is not bit-identical to the compiled one")
+	}
+}

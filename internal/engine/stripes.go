@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"hash/maphash"
+	"sync"
+
+	"recycle/internal/core"
+	"recycle/internal/schedule"
+)
+
+// defaultStripes is the lock-stripe count when Options.Stripes is zero:
+// enough shards that concurrent fetchers on distinct fingerprints or
+// failure sets practically never share a lock, cheap enough that every
+// engine can afford the maps.
+const defaultStripes = 64
+
+// call is one in-flight solve that concurrent requesters coalesce onto.
+type call struct {
+	done chan struct{}
+	plan *core.Plan
+	err  error
+}
+
+// planEntry tags a cached plan with the cache epoch it was admitted
+// under. InvalidateCache bumps the engine epoch instead of sweeping the
+// stripes, so an entry from an older epoch simply stops being visible —
+// lazy invalidation, no stop-the-world pause for in-flight fetches.
+type planEntry struct {
+	plan  *core.Plan
+	epoch uint64
+}
+
+// stripe is one lock shard of the plan cache: a slice of the keyspace
+// plus the in-flight solves for that slice. Request coalescing is
+// per-stripe, so a solve on one fingerprint never blocks a hit on
+// another.
+type stripe struct {
+	mu       sync.RWMutex
+	plans    map[string]planEntry
+	inflight map[string]*call
+}
+
+// progEntry tags a compiled Program with its admission epoch.
+type progEntry struct {
+	prog  *schedule.Program
+	epoch uint64
+}
+
+// progStripe is one lock shard of the schedule-identity keyed caches:
+// compiled Programs and memoized plan encodings. Encoded bytes derive
+// from immutable schedules and survive epoch bumps (re-replicating after
+// a store wipe reuses them); Programs follow the plan cache's lazy
+// invalidation.
+type progStripe struct {
+	mu       sync.RWMutex
+	programs map[*schedule.Schedule]progEntry
+	encoded  map[*schedule.Schedule][]byte
+}
+
+// stripeFor shards the plan keyspace by key hash.
+func (e *Engine) stripeFor(key string) *stripe {
+	if len(e.stripes) == 1 {
+		return &e.stripes[0]
+	}
+	return &e.stripes[maphash.String(e.seed, key)&e.stripeMask]
+}
+
+// progStripeFor shards the Program caches by schedule identity (plans are
+// cached and shared, so one plan's schedule is one pointer for the
+// engine's lifetime).
+func (e *Engine) progStripeFor(s *schedule.Schedule) *progStripe {
+	if len(e.pstripes) == 1 {
+		return &e.pstripes[0]
+	}
+	return &e.pstripes[maphash.Comparable(e.seed, s)&e.stripeMask]
+}
+
+// lockShared acquires a stripe for reading. The single-mutex engine
+// (Options.SingleMutex) locks exclusively — the pre-striping behavior the
+// service benchmark baselines against. A failed speculative acquire
+// counts one contention event before blocking.
+func (e *Engine) lockShared(mu *sync.RWMutex) {
+	if e.single {
+		e.lockExcl(mu)
+		return
+	}
+	if !mu.TryRLock() {
+		e.stripeContended.Add(1)
+		mu.RLock()
+	}
+}
+
+// unlockShared releases a lockShared acquisition.
+func (e *Engine) unlockShared(mu *sync.RWMutex) {
+	if e.single {
+		mu.Unlock()
+		return
+	}
+	mu.RUnlock()
+}
+
+// lockExcl acquires a stripe for writing, counting contention.
+func (e *Engine) lockExcl(mu *sync.RWMutex) {
+	if !mu.TryLock() {
+		e.stripeContended.Add(1)
+		mu.Lock()
+	}
+}

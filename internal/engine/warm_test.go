@@ -16,7 +16,7 @@ func TestInvalidateCacheRederivesWarm(t *testing.T) {
 	job, stats := analyticJob(t)
 	eng := New(job, stats, Options{UnrollIterations: 2})
 	const maxF = 2
-	if err := eng.PlanAll(maxF); err != nil {
+	if err := eng.Warm(maxF).Wait(); err != nil {
 		t.Fatal(err)
 	}
 	periods := make(map[int]int64)
@@ -33,7 +33,7 @@ func TestInvalidateCacheRederivesWarm(t *testing.T) {
 	}
 
 	eng.InvalidateCache()
-	if err := eng.PlanAll(maxF); err != nil {
+	if err := eng.Warm(maxF).Wait(); err != nil {
 		t.Fatal(err)
 	}
 	m2 := eng.Metrics()
@@ -115,7 +115,7 @@ func TestPlanConcreteClassDedup(t *testing.T) {
 func TestRecalibrateThresholdAndWarmReplan(t *testing.T) {
 	job, stats := analyticJob(t)
 	eng := New(job, stats, Options{UnrollIterations: 2})
-	if err := eng.PlanAll(1); err != nil {
+	if err := eng.Warm(1).Wait(); err != nil {
 		t.Fatal(err)
 	}
 	base := eng.Metrics()

@@ -1,0 +1,513 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"recycle/internal/engine"
+	"recycle/internal/schedule"
+)
+
+// ServiceLoad parameterizes the multi-job plan-service benchmark: how many
+// engines (distinct training jobs) share the process, how many concurrent
+// fetchers hammer them, and how much traffic each phase drives.
+type ServiceLoad struct {
+	// Engines is the number of co-hosted jobs (same 4x3 pipeline grid,
+	// distinct micro-batch counts, so each engine owns a distinct plan
+	// namespace).
+	Engines int
+	// Fetchers is the number of concurrent ScheduleFor clients.
+	Fetchers int
+	// WarmFetches is the per-fetcher request count of the steady phase
+	// (cache-dominated traffic against warmed engines).
+	WarmFetches int
+	// ChurnFetches is the per-fetcher request count of the churn phase
+	// (straggler marks, cache invalidations and background re-warms land
+	// mid-traffic).
+	ChurnFetches int
+	// MaxFailures bounds the victim draw (0..MaxFailures failed workers
+	// per request) and the warming depth.
+	MaxFailures int
+	// Seed derives every fetcher's victim sequence; both modes replay the
+	// identical sequence so their digests are comparable.
+	Seed int64
+}
+
+// DefaultServiceLoad is the committed BENCH_service.json profile: 3 jobs,
+// 64 fetchers, 400 steady + 40 churn fetches each.
+func DefaultServiceLoad() ServiceLoad {
+	return ServiceLoad{Engines: 3, Fetchers: 64, WarmFetches: 400, ChurnFetches: 40, MaxFailures: 2, Seed: 1}
+}
+
+// ServiceRow is one mode (sharded or single-mutex) of the service
+// benchmark: steady-phase latency distribution and throughput, churn-phase
+// tail latency, warm-pipeline stats, and the digest of every schedule
+// served in draw order.
+type ServiceRow struct {
+	Mode    string
+	Stripes int
+	// Fetches is the steady-phase request total (Fetchers x WarmFetches).
+	Fetches       int
+	ElapsedMs     float64
+	FetchesPerSec float64
+	P50Us         float64
+	P99Us         float64
+	MaxUs         float64
+	// ChurnP99Us is the tail latency while stragglers are marked, caches
+	// invalidated and the warm pipeline re-runs mid-traffic.
+	ChurnP99Us float64
+	// WarmMs is the wall-clock of the initial background warm across all
+	// engines; WarmCoverage is warmed plans over warm targets (1.0 = every
+	// normalized count of every engine populated).
+	WarmMs       float64
+	WarmCoverage float64
+	// CacheHitRate is in-process cache hits over steady-phase plan
+	// lookups (cache + store + best + coalesced + solves).
+	CacheHitRate float64
+	// Digest folds every served schedule in draw order; equal digests
+	// across modes certify bit-equal schedules for the identical request
+	// sequence.
+	Digest string
+	// Metrics sums the per-engine counter deltas over the steady phase.
+	Metrics engine.Metrics
+}
+
+// ServiceReport is the full two-mode comparison the bench-smoke CI gate
+// and BENCH_service.json snapshot consume.
+type ServiceReport struct {
+	Load ServiceLoad
+	Rows []ServiceRow
+	// ThroughputGain is sharded steady-phase fetches/sec over
+	// single-mutex; P99Gain is single-mutex steady P99 over sharded.
+	ThroughputGain float64
+	P99Gain        float64
+	// Identical reports digest equality: both modes served bit-equal
+	// schedules for the identical draw sequence.
+	Identical bool
+}
+
+// serviceGrid is the pipeline geometry every benchmark job shares; victim
+// draws address this grid.
+const (
+	serviceDP = 4
+	servicePP = 3
+)
+
+// ServiceBench drives the same synthetic multi-job load through a sharded
+// engine set and a single-mutex engine set and compares them.
+//
+// Per mode: Engines engines are built (SingleMutex toggled), one worker is
+// pre-marked a straggler on each (so both modes carry a live cost model —
+// the single-mutex engine pays its per-fetch signature there, the sharded
+// engine its snapshot staleness check), and the warm pipeline populates
+// every normalized count. The steady phase then measures Fetchers
+// concurrent clients drawing seeded victim sets against the warmed
+// service: per-request latency, total throughput, and a digest of every
+// schedule served. The churn phase re-runs the storm while a churn driver
+// marks/clears stragglers, invalidates caches and re-warms in the
+// background — tail latency under invalidation, not measured for digests
+// (service answers there legitimately depend on arrival order).
+//
+// Warming completes before the steady phase on purpose: with every
+// normalized plan resident, which internal tier answers a given draw is a
+// pure function of the draw, so the digest comparison across modes is
+// exact instead of racy.
+func ServiceBench(load ServiceLoad) (ServiceReport, string, error) {
+	rep := ServiceReport{Load: load}
+	if load.Engines < 1 || load.Fetchers < 1 {
+		return rep, "", fmt.Errorf("experiments: degenerate service load %+v", load)
+	}
+	for _, mode := range []string{"sharded", "single-mutex"} {
+		row, err := serviceMode(mode, load)
+		if err != nil {
+			return rep, "", err
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	sh, sm := rep.Rows[0], rep.Rows[1]
+	if sm.FetchesPerSec > 0 {
+		rep.ThroughputGain = sh.FetchesPerSec / sm.FetchesPerSec
+	}
+	if sh.P99Us > 0 {
+		rep.P99Gain = sm.P99Us / sh.P99Us
+	}
+	rep.Identical = sh.Digest == sm.Digest && sh.Digest != ""
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Plan-service load benchmark (%d jobs x %d fetchers, %d+%d fetches each, <=%d failures)\n",
+		load.Engines, load.Fetchers, load.WarmFetches, load.ChurnFetches, load.MaxFailures)
+	fmt.Fprintf(&b, "  %-13s %8s %10s %9s %9s %9s %10s %7s %6s  %s\n",
+		"mode", "stripes", "fetch/s", "p50", "p99", "max", "churn-p99", "warm", "hit", "digest")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(&b, "  %-13s %8d %10.0f %7.1fus %7.1fus %7.1fus %8.1fus %5.0fms %5.1f%%  %s\n",
+			r.Mode, r.Stripes, r.FetchesPerSec, r.P50Us, r.P99Us, r.MaxUs, r.ChurnP99Us, r.WarmMs, 100*r.CacheHitRate, r.Digest)
+	}
+	fmt.Fprintf(&b, "  throughput gain %.1fx, p99 gain %.1fx, identical schedules: %v\n",
+		rep.ThroughputGain, rep.P99Gain, rep.Identical)
+	return rep, b.String(), nil
+}
+
+// serviceMode runs one mode of the benchmark end to end.
+func serviceMode(mode string, load ServiceLoad) (ServiceRow, error) {
+	row := ServiceRow{Mode: mode}
+	single := mode == "single-mutex"
+
+	engines := make([]*engine.Engine, load.Engines)
+	for i := range engines {
+		job, stats := engine.ShapeJob(serviceDP, servicePP, 6+2*i)
+		engines[i] = engine.New(job, stats, engine.Options{SingleMutex: single})
+		// A live straggler mark keeps a non-nil cost model in play for the
+		// whole steady phase: the honest per-fetch configuration cost of
+		// each mode (snapshot+signature vs staleness check) is on the path.
+		engines[i].MarkStraggler(schedule.Worker{Stage: 0, Pipeline: 0}, 1.3)
+	}
+	row.Stripes = engines[0].StripeCount()
+
+	// Background warm across all engines; the steady phase starts once
+	// every normalized count is resident so both modes answer each draw
+	// from the same internal tier.
+	t0 := time.Now()
+	warmers := make([]*engine.Warmer, len(engines))
+	for i, e := range engines {
+		warmers[i] = e.Warm(load.MaxFailures)
+	}
+	for i, w := range warmers {
+		if err := w.Wait(); err != nil {
+			return row, fmt.Errorf("experiments: service warm (%s, engine %d): %w", mode, i, err)
+		}
+	}
+	row.WarmMs = float64(time.Since(t0)) / float64(time.Millisecond)
+
+	// Draw every fetcher's steady-phase request sequence up front and
+	// pre-resolve each distinct (engine, victim set) once: first-touch
+	// concrete solves cost milliseconds and land identically in both
+	// modes, so resolving them outside the window leaves the timed phase
+	// measuring the per-fetch service cost — the thing the striping
+	// changed — rather than solver wall-clock or draw/alloc harness noise.
+	reqs := make([][]request, load.Fetchers)
+	seen := make(map[string]bool)
+	for f := range reqs {
+		rng := rand.New(rand.NewSource(load.Seed + int64(f)*1009))
+		reqs[f] = make([]request, load.WarmFetches)
+		for i := range reqs[f] {
+			e, failed := drawRequest(rng, engines, load.MaxFailures)
+			reqs[f][i] = request{e: e, failed: failed}
+			k := requestKey(e, failed)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if _, err := e.ScheduleFor(failed); err != nil {
+				return row, fmt.Errorf("experiments: service pre-resolve (%s): %w", mode, err)
+			}
+		}
+	}
+
+	before := make([]engine.Metrics, len(engines))
+	for i, e := range engines {
+		before[i] = e.Metrics()
+	}
+
+	// Steady phase: every fetcher replays its drawn sequence, timing each
+	// ScheduleFor.
+	nFetch := load.Fetchers * load.WarmFetches
+	lat := make([][]int64, load.Fetchers)
+	errs := make([]error, load.Fetchers)
+	var wg sync.WaitGroup
+	runtime.GC() // keep the pre-resolve phase's garbage out of the window
+	start := time.Now()
+	for f := 0; f < load.Fetchers; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			ls := make([]int64, load.WarmFetches)
+			for i, rq := range reqs[f] {
+				ts := time.Now()
+				_, err := rq.e.ScheduleFor(rq.failed)
+				ls[i] = int64(time.Since(ts))
+				if err != nil {
+					errs[f] = fmt.Errorf("experiments: service fetch (%s, fetcher %d): %w", mode, f, err)
+					return
+				}
+			}
+			lat[f] = ls
+		}(f)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return row, err
+		}
+	}
+	row.Fetches = nFetch
+	row.ElapsedMs = float64(elapsed) / float64(time.Millisecond)
+	row.FetchesPerSec = float64(nFetch) / elapsed.Seconds()
+	all := mergeLatencies(lat)
+	row.P50Us = percentileUs(all, 0.50)
+	row.P99Us = percentileUs(all, 0.99)
+	row.MaxUs = percentileUs(all, 1)
+
+	for i, e := range engines {
+		row.Metrics = addMetrics(row.Metrics, subMetrics(e.Metrics(), before[i]))
+	}
+
+	// Digest pass, untimed: replay every sequence again (pure cache hits
+	// against the still-unchanged configuration, so the schedules served
+	// are the ones the storm served) and fold each served schedule's
+	// content hash in draw order. Keeping the fold out of the timed loop
+	// keeps the latency window free of harness work that is identical in
+	// both modes.
+	var dig digestCache
+	h := fnvOffset
+	for f := range reqs {
+		fh := fnvOffset
+		for _, rq := range reqs[f] {
+			s, err := rq.e.ScheduleFor(rq.failed)
+			if err != nil {
+				return row, fmt.Errorf("experiments: service digest pass (%s, fetcher %d): %w", mode, f, err)
+			}
+			fh = fh*fnvPrime ^ dig.of(s)
+		}
+		h = h*fnvPrime ^ fh
+	}
+	row.Digest = fmt.Sprintf("%016x", h)
+	lookups := row.Metrics.CacheHits + row.Metrics.StoreHits + row.Metrics.BestHits +
+		row.Metrics.Coalesced + row.Metrics.Solves
+	if lookups > 0 {
+		row.CacheHitRate = float64(row.Metrics.CacheHits) / float64(lookups)
+	}
+	if row.Metrics.WarmTargets > 0 {
+		row.WarmCoverage = float64(row.Metrics.WarmedPlans) / float64(row.Metrics.WarmTargets)
+	} else {
+		var wp, wt uint64
+		for _, e := range engines {
+			m := e.Metrics()
+			wp, wt = wp+m.WarmedPlans, wt+m.WarmTargets
+		}
+		if wt > 0 {
+			row.WarmCoverage = float64(wp) / float64(wt)
+		}
+	}
+
+	// Churn phase: same storm, smaller, while a driver marks and clears
+	// stragglers, invalidates caches and kicks background re-warms.
+	// Latency only — served content now legitimately depends on arrival
+	// order relative to the churn events.
+	stop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	var churnWarmers []*engine.Warmer
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		w := schedule.Worker{Stage: servicePP - 1, Pipeline: serviceDP - 1}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e := engines[i%len(engines)]
+			switch i % 4 {
+			case 0:
+				e.MarkStraggler(w, 1.5)
+			case 1:
+				e.ClearStraggler(w)
+			case 2:
+				e.InvalidateCache()
+			case 3:
+				churnWarmers = append(churnWarmers, e.Warm(load.MaxFailures))
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	clat := make([][]int64, load.Fetchers)
+	for f := 0; f < load.Fetchers; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(load.Seed + 7777 + int64(f)*1013))
+			ls := make([]int64, 0, load.ChurnFetches)
+			for i := 0; i < load.ChurnFetches; i++ {
+				e, failed := drawRequest(rng, engines, load.MaxFailures)
+				ts := time.Now()
+				_, err := e.ScheduleFor(failed)
+				ls = append(ls, int64(time.Since(ts)))
+				if err != nil {
+					errs[f] = fmt.Errorf("experiments: churn fetch (%s, fetcher %d): %w", mode, f, err)
+					return
+				}
+			}
+			clat[f] = ls
+		}(f)
+	}
+	wg.Wait()
+	close(stop)
+	churnWG.Wait()
+	for _, w := range churnWarmers {
+		if err := w.Wait(); err != nil {
+			return row, fmt.Errorf("experiments: churn re-warm (%s): %w", mode, err)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return row, err
+		}
+	}
+	row.ChurnP99Us = percentileUs(mergeLatencies(clat), 0.99)
+	return row, nil
+}
+
+// request is one pre-drawn fetch: the target engine and its victim set.
+type request struct {
+	e      *engine.Engine
+	failed map[schedule.Worker]bool
+}
+
+// drawRequest picks the target engine and victim set for one fetch. Draws
+// are a pure function of the rng stream, so both modes replay identical
+// request sequences. At most maxF victims are drawn from the shared 4x3
+// grid — never a full stage's pipelines, so every set is plannable.
+func drawRequest(rng *rand.Rand, engines []*engine.Engine, maxF int) (*engine.Engine, map[schedule.Worker]bool) {
+	e := engines[rng.Intn(len(engines))]
+	k := rng.Intn(maxF + 1)
+	if k == 0 {
+		return e, nil
+	}
+	failed := make(map[schedule.Worker]bool, k)
+	for len(failed) < k {
+		w := schedule.Worker{Stage: rng.Intn(servicePP), Pipeline: rng.Intn(serviceDP)}
+		failed[w] = true
+	}
+	return e, failed
+}
+
+// requestKey identifies one (engine, victim set) request for the
+// pre-resolve dedup.
+func requestKey(e *engine.Engine, failed map[schedule.Worker]bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%p", e)
+	ws := make([]schedule.Worker, 0, len(failed))
+	for w := range failed {
+		ws = append(ws, w)
+	}
+	schedule.SortWorkers(ws)
+	for _, w := range ws {
+		fmt.Fprintf(&b, "/%d.%d", w.Stage, w.Pipeline)
+	}
+	return b.String()
+}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// digestCache memoizes schedule content digests by pointer identity:
+// schedules are immutable and the steady phase serves the same few dozen
+// pointers hundreds of times, so each content hash is computed once.
+type digestCache struct{ m sync.Map }
+
+func (c *digestCache) of(s *schedule.Schedule) uint64 {
+	if d, ok := c.m.Load(s); ok {
+		return d.(uint64)
+	}
+	d := scheduleDigest(s)
+	c.m.Store(s, d)
+	return d
+}
+
+// scheduleDigest is an FNV-1a fold of the schedule's content: shape,
+// sorted failed set, and every placement's op identity and span. Two
+// schedules digest equal iff they place the same ops at the same times.
+func scheduleDigest(s *schedule.Schedule) uint64 {
+	h := fnvOffset
+	mix := func(v int64) {
+		h = (h ^ uint64(v)) * fnvPrime
+	}
+	mix(int64(s.Shape.DP))
+	mix(int64(s.Shape.PP))
+	mix(int64(s.Shape.MB))
+	mix(int64(s.Shape.Iter))
+	ws := make([]schedule.Worker, 0, len(s.Failed))
+	for w, v := range s.Failed {
+		if v {
+			ws = append(ws, w)
+		}
+	}
+	schedule.SortWorkers(ws)
+	for _, w := range ws {
+		mix(int64(w.Stage))
+		mix(int64(w.Pipeline))
+	}
+	for _, p := range s.Placements {
+		mix(int64(p.Op.Stage))
+		mix(int64(p.Op.MB))
+		mix(int64(p.Op.Home))
+		mix(int64(p.Op.Type))
+		mix(int64(p.Op.Exec))
+		mix(int64(p.Op.Iter))
+		mix(p.Start)
+		mix(p.End)
+	}
+	return h
+}
+
+// mergeLatencies flattens and sorts the per-fetcher samples.
+func mergeLatencies(per [][]int64) []int64 {
+	var all []int64
+	for _, ls := range per {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
+}
+
+// percentileUs reads the q-quantile (0..1) of sorted nanosecond samples in
+// microseconds.
+func percentileUs(sorted []int64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / float64(time.Microsecond)
+}
+
+func addMetrics(a, b engine.Metrics) engine.Metrics {
+	return engine.Metrics{
+		CacheHits: a.CacheHits + b.CacheHits, StoreHits: a.StoreHits + b.StoreHits,
+		BestHits: a.BestHits + b.BestHits, Solves: a.Solves + b.Solves,
+		Coalesced: a.Coalesced + b.Coalesced, StoreErrors: a.StoreErrors + b.StoreErrors,
+		Compiles: a.Compiles + b.Compiles, ProgramHits: a.ProgramHits + b.ProgramHits,
+		WarmHits: a.WarmHits + b.WarmHits, WarmReplays: a.WarmReplays + b.WarmReplays,
+		ScratchSolves: a.ScratchSolves + b.ScratchSolves, ClassDedups: a.ClassDedups + b.ClassDedups,
+		StripeContended: a.StripeContended + b.StripeContended, ProgramStoreHits: a.ProgramStoreHits + b.ProgramStoreHits,
+		WarmedPlans: a.WarmedPlans + b.WarmedPlans, WarmTargets: a.WarmTargets + b.WarmTargets,
+		ConfSwaps: a.ConfSwaps + b.ConfSwaps, Epoch: a.Epoch + b.Epoch,
+	}
+}
+
+func subMetrics(a, b engine.Metrics) engine.Metrics {
+	return engine.Metrics{
+		CacheHits: a.CacheHits - b.CacheHits, StoreHits: a.StoreHits - b.StoreHits,
+		BestHits: a.BestHits - b.BestHits, Solves: a.Solves - b.Solves,
+		Coalesced: a.Coalesced - b.Coalesced, StoreErrors: a.StoreErrors - b.StoreErrors,
+		Compiles: a.Compiles - b.Compiles, ProgramHits: a.ProgramHits - b.ProgramHits,
+		WarmHits: a.WarmHits - b.WarmHits, WarmReplays: a.WarmReplays - b.WarmReplays,
+		ScratchSolves: a.ScratchSolves - b.ScratchSolves, ClassDedups: a.ClassDedups - b.ClassDedups,
+		StripeContended: a.StripeContended - b.StripeContended, ProgramStoreHits: a.ProgramStoreHits - b.ProgramStoreHits,
+		WarmedPlans: a.WarmedPlans - b.WarmedPlans, WarmTargets: a.WarmTargets - b.WarmTargets,
+		ConfSwaps: a.ConfSwaps - b.ConfSwaps, Epoch: a.Epoch - b.Epoch,
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// TestServiceBenchSmoke runs a miniature service load end to end: both
+// modes complete, serve bit-identical schedules for the shared draw
+// sequence, and report full warm coverage. Timing gains are not asserted
+// here — latency on a loaded test host is CI-flaky by nature; the
+// bench-smoke job gates those against the committed snapshot instead.
+func TestServiceBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service load benchmark is slow")
+	}
+	load := ServiceLoad{Engines: 2, Fetchers: 4, WarmFetches: 30, ChurnFetches: 5, MaxFailures: 1, Seed: 3}
+	rep, text, err := ServiceBench(load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("want 2 mode rows, got %d", len(rep.Rows))
+	}
+	if !rep.Identical {
+		t.Fatalf("modes served diverging schedules: %s vs %s", rep.Rows[0].Digest, rep.Rows[1].Digest)
+	}
+	for _, r := range rep.Rows {
+		if r.Fetches != load.Fetchers*load.WarmFetches {
+			t.Fatalf("%s: %d fetches, want %d", r.Mode, r.Fetches, load.Fetchers*load.WarmFetches)
+		}
+		if r.WarmCoverage != 1 {
+			t.Fatalf("%s: warm coverage %.2f, want 1.0", r.Mode, r.WarmCoverage)
+		}
+		if r.P99Us <= 0 || r.FetchesPerSec <= 0 {
+			t.Fatalf("%s: degenerate timing row %+v", r.Mode, r)
+		}
+	}
+	if rep.Rows[0].Stripes <= rep.Rows[1].Stripes {
+		t.Fatalf("sharded row has %d stripes vs single-mutex %d", rep.Rows[0].Stripes, rep.Rows[1].Stripes)
+	}
+	if text == "" {
+		t.Fatal("empty report text")
+	}
+}

@@ -36,19 +36,22 @@ func solverBenchJob() config.Job { return config.Table1Jobs()[1] }
 // SolverBench measures the incremental warm-start machinery end to end on
 // the 3.35B preset:
 //
-//   - planall-rederive: PlanAll from scratch, wipe every derived artifact
-//     (InvalidateCache: plan cache + replicated store), PlanAll again. The
-//     retained hints turn the re-derivation into warm validation passes;
-//     periods must be bit-identical.
+//   - planall-rederive: warm every count from scratch, wipe every derived
+//     artifact (InvalidateCache: plan cache + replicated store), warm
+//     again. The retained hints turn the re-derivation into warm
+//     validation passes; periods must be bit-identical.
 //   - concrete-dedup: one concrete victim per pipeline at the same stage.
 //     Homogeneous costs put all pipelines in one equivalence class, so the
 //     first request solves and every other is a rename; periods must be
 //     bit-identical across the class.
-//   - recalibrate-drift: a stage-uniform 1.25x measured slowdown recalibrates
-//     the cost model and re-solves the working set warm (routing is
-//     preserved, so the old order replays against scratch and the winner is
-//     never worse). Compared against a cold engine solving the same drifted
-//     model from scratch; warm periods must be <= scratch periods.
+//   - recalibrate-drift: one full drift episode on a warm service — a
+//     stage-uniform 1.25x measured slowdown recalibrates the cost model
+//     and re-solves the working set, then uniform measurements normalize
+//     the model back and the re-plans collapse onto the original
+//     namespace's cached plans. The cold reference solves both phases'
+//     namespaces from scratch; warm periods must be never worse in the
+//     drifted phase and bit-identical to the pre-drift baseline after
+//     normalization.
 //
 // The returned rows feed recycle-bench -json (the CI bench-smoke gate) and
 // the committed BENCH_solver.json snapshot.
@@ -66,8 +69,8 @@ func SolverBench() ([]SolverRow, string, error) {
 	// --- planall-rederive ---
 	eng := engine.New(job, stats, engine.Options{UnrollIterations: unroll})
 	t0 := time.Now()
-	if err := eng.PlanAll(maxF); err != nil {
-		return nil, "", fmt.Errorf("experiments: scratch PlanAll: %w", err)
+	if err := eng.Warm(maxF).Wait(); err != nil {
+		return nil, "", fmt.Errorf("experiments: scratch warm: %w", err)
 	}
 	scratchDur := time.Since(t0)
 	periods := make([]int64, maxF+1)
@@ -81,8 +84,8 @@ func SolverBench() ([]SolverRow, string, error) {
 	cold := eng.Metrics()
 	eng.InvalidateCache()
 	t0 = time.Now()
-	if err := eng.PlanAll(maxF); err != nil {
-		return nil, "", fmt.Errorf("experiments: warm PlanAll: %w", err)
+	if err := eng.Warm(maxF).Wait(); err != nil {
+		return nil, "", fmt.Errorf("experiments: warm re-derivation: %w", err)
 	}
 	warmDur := time.Since(t0)
 	match := true
@@ -124,19 +127,31 @@ func SolverBench() ([]SolverRow, string, error) {
 	rows = append(rows, solverRow("concrete-dedup", scratchDur, warmDur, diffMetrics(m, engine.Metrics{}), match))
 
 	// --- recalibrate-drift ---
+	// The warm engine rides out a full drift episode; the timed window is
+	// [drift in, drift out] on an already-warm service.
 	eng = engine.New(job, stats, engine.Options{UnrollIterations: unroll})
 	const replanMax = 2
-	if err := eng.PlanAll(replanMax); err != nil {
-		return nil, "", fmt.Errorf("experiments: drift baseline PlanAll: %w", err)
+	if err := eng.Warm(replanMax).Wait(); err != nil {
+		return nil, "", fmt.Errorf("experiments: drift baseline warm: %w", err)
+	}
+	basePeriods := make([]int64, replanMax+1)
+	for f := 0; f <= replanMax; f++ {
+		p, err := eng.Plan(f)
+		if err != nil {
+			return nil, "", err
+		}
+		basePeriods[f] = p.PeriodSlots
 	}
 	pre := eng.Metrics()
 	base := profile.UniformCost(stats)
 	measured := make(map[schedule.Worker]time.Duration)
+	uniform := make(map[schedule.Worker]time.Duration)
 	sh := eng.Planner().Shape()
 	for s := 0; s < sh.PP; s++ {
 		for p := 0; p < sh.DP; p++ {
 			w := schedule.Worker{Stage: s, Pipeline: p}
 			d := time.Duration(base.Of(w, schedule.F) + base.Of(w, schedule.BInput) + base.Of(w, schedule.BWeight))
+			uniform[w] = d
 			if s == 1 {
 				d = d * 125 / 100
 			}
@@ -148,31 +163,55 @@ func SolverBench() ([]SolverRow, string, error) {
 	if err != nil {
 		return nil, "", fmt.Errorf("experiments: recalibrate: %w", err)
 	}
-	warmDur = time.Since(t0)
 	if !rec.Drifted {
 		return nil, "", fmt.Errorf("experiments: 25%% stage drift did not recalibrate (max drift %.3f)", rec.MaxDrift)
 	}
+	driftedModel := eng.CostModel()
+	driftedPeriods := make([]int64, replanMax+1)
+	for f := 0; f <= replanMax; f++ {
+		p, err := eng.Plan(f)
+		if err != nil {
+			return nil, "", err
+		}
+		driftedPeriods[f] = p.PeriodSlots
+	}
+	recOut, err := eng.Recalibrate(uniform)
+	if err != nil {
+		return nil, "", fmt.Errorf("experiments: drift-out recalibrate: %w", err)
+	}
+	warmDur = time.Since(t0)
+	if !recOut.Drifted {
+		return nil, "", fmt.Errorf("experiments: drift-out did not clear the multipliers (max drift %.3f)", recOut.MaxDrift)
+	}
+	if eng.CostModel() != nil {
+		return nil, "", fmt.Errorf("experiments: drift-out left a non-nil cost model")
+	}
 	m = eng.Metrics()
 
-	// Cold reference: a fresh engine given the recalibrated model up front
-	// solves the same counts from scratch.
-	ref := engine.New(job, stats, engine.Options{UnrollIterations: unroll, CostModel: eng.CostModel()})
+	// Cold reference for the same episode: a fresh engine per phase solves
+	// the drifted and the recovered namespace from scratch.
 	t0 = time.Now()
-	if err := ref.PlanAll(replanMax); err != nil {
-		return nil, "", fmt.Errorf("experiments: drifted scratch PlanAll: %w", err)
+	ref := engine.New(job, stats, engine.Options{UnrollIterations: unroll, CostModel: driftedModel})
+	if err := ref.Warm(replanMax).Wait(); err != nil {
+		return nil, "", fmt.Errorf("experiments: drifted scratch warm: %w", err)
+	}
+	refOut := engine.New(job, stats, engine.Options{UnrollIterations: unroll})
+	if err := refOut.Warm(replanMax).Wait(); err != nil {
+		return nil, "", fmt.Errorf("experiments: drift-out scratch warm: %w", err)
 	}
 	scratchDur = time.Since(t0)
 	match = true
 	for f := 0; f <= replanMax; f++ {
-		wp, err := eng.Plan(f)
-		if err != nil {
-			return nil, "", err
-		}
 		sp, err := ref.Plan(f)
 		if err != nil {
 			return nil, "", err
 		}
-		match = match && wp.PeriodSlots <= sp.PeriodSlots
+		match = match && driftedPeriods[f] <= sp.PeriodSlots
+		wp, err := eng.Plan(f)
+		if err != nil {
+			return nil, "", err
+		}
+		match = match && wp.PeriodSlots == basePeriods[f]
 	}
 	rows = append(rows, solverRow("recalibrate-drift", scratchDur, warmDur, diffMetrics(m, pre), match))
 

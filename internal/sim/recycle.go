@@ -52,10 +52,12 @@ func (r *ReCycle) Program(n int) (*schedule.Program, error) {
 }
 
 // PrePlan runs the offline phase of Fig 8: plans for 0..maxFailures are
-// solved concurrently and replicated before the simulation starts.
+// solved concurrently and replicated before the simulation starts (the
+// warming pipeline, waited to completion — the DES needs deterministic
+// full coverage).
 // maxFailures <= 0 selects the job's fault-tolerance threshold.
 func (r *ReCycle) PrePlan(maxFailures int) error {
-	return r.eng.PlanAll(maxFailures)
+	return r.eng.Warm(maxFailures).Wait()
 }
 
 // PlanMetrics reports the plan service's traffic counters.

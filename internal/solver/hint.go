@@ -40,9 +40,9 @@ const (
 	// schedule was validated against the new input (routes, flags, every
 	// placement duration) and returned unchanged.
 	KindWarmIdentical
-	// KindWarmReplay: durations drifted but the routing held; replaying
-	// the hint's per-worker op order under the new durations produced a
-	// strictly better makespan than the scratch dispatch.
+	// KindWarmReplay: durations drifted by one uniform factor with the
+	// routing held; replaying the hint's per-worker op order under the new
+	// durations matched or beat the scratch dispatch's makespan.
 	KindWarmReplay
 )
 
@@ -135,6 +135,36 @@ func (h *Hint) compatible(in Input, routes [][][]int) bool {
 func (h *Hint) durationsMatch(in Input) bool {
 	for _, p := range h.Schedule.Placements {
 		if p.End-p.Start != in.dur(p.Op.Worker(), p.Op.Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// uniformRescale reports whether the input re-times every op of the
+// hint's schedule by one global factor. Under a uniform rescale the hint's
+// op order is provably still optimal-relative-to-scratch (every start time
+// scales together), so a replay is worth racing; under any other drift the
+// relative op costs changed, replay almost never wins, and attempting it
+// only taxes the solve — the warm path abandons the hint immediately and
+// falls through to scratch. The ratio test cross-multiplies, so
+// fractional factors need no floating point.
+func (h *Hint) uniformRescale(in Input) bool {
+	var num, den int64
+	for _, p := range h.Schedule.Placements {
+		hd := p.End - p.Start
+		nd := in.dur(p.Op.Worker(), p.Op.Type)
+		if hd == 0 && nd == 0 {
+			continue
+		}
+		if hd == 0 || nd == 0 {
+			return false
+		}
+		if den == 0 {
+			num, den = nd, hd
+			continue
+		}
+		if nd*den != num*hd {
 			return false
 		}
 	}

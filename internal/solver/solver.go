@@ -95,11 +95,14 @@ func Solve(in Input) (*schedule.Schedule, error) {
 //     duration match the input): the hint schedule is returned unchanged
 //     after an O(placements) validation — the solver is deterministic, so
 //     this is bit-identical to what a scratch solve would produce;
-//   - drifted durations with unchanged routing (e.g. a stage-uniform
-//     recalibration, which keeps every stage cost-flat): the hint's
-//     per-worker op order is replayed under the new durations and the
-//     better of replay and scratch is returned;
-//   - anything else: plain scratch solve.
+//   - durations uniformly rescaled with unchanged routing (a fleet-wide
+//     recalibration — every op cost multiplied by one factor): the hint's
+//     per-worker op order is replayed under the new durations and replay
+//     wins unless scratch is strictly better;
+//   - anything else — including non-uniform drift, where the relative op
+//     costs changed and a replay almost never wins — the hint is
+//     abandoned immediately and the solve runs from scratch, paying no
+//     replay tax.
 func SolveInstrumented(in Input) (*schedule.Schedule, SolveInfo, error) {
 	if err := in.Shape.Validate(); err != nil {
 		return nil, SolveInfo{}, err
@@ -116,14 +119,14 @@ func SolveInstrumented(in Input) (*schedule.Schedule, SolveInfo, error) {
 	st := newState(in, routes)
 	var replay []schedule.Placement
 	replayOK := false
-	if warm {
+	if warm && h.uniformRescale(in) {
 		replay, replayOK = st.replayOrder(h.Schedule)
 	}
 	if err := st.run(); err != nil {
 		return nil, SolveInfo{}, err
 	}
 	ps, kind := st.placements, KindScratch
-	if replayOK && horizon(replay) < horizon(st.placements) {
+	if replayOK && horizon(replay) <= horizon(st.placements) {
 		ps, kind = replay, KindWarmReplay
 	}
 	s := schedule.New(in.Shape, in.Durations, in.Failed, ps)
