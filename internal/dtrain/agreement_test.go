@@ -3,6 +3,7 @@ package dtrain
 import (
 	"testing"
 
+	"recycle/internal/replay"
 	"recycle/internal/schedule"
 	"recycle/internal/sim"
 )
@@ -48,6 +49,92 @@ func TestSimRuntimeAgreementByConstruction(t *testing.T) {
 	}
 	if rt.ExecutedComputeMakespan() <= 0 {
 		t.Fatal("degenerate zero-length timeline")
+	}
+}
+
+// TestAgreementMidIterationFailureSplice extends the agreement property to
+// the mid-iteration failure path: the DES-replayed derivation of a kill
+// event (replay.LiveSplice + a Done/ReleaseAt-seeded virtual execution)
+// and the live chaos run of the identical event execute
+// instruction-identical spliced Programs with identical spans — and the
+// live run's training math stays bitwise equal to a fault-free reference.
+func TestAgreementMidIterationFailureSplice(t *testing.T) {
+	cfg := Config{
+		DP: 3, PP: 4, MB: 6,
+		InDim: 8, Hidden: 16, OutDim: 4, MicroBatchSize: 5,
+		Seed: 42, LR: 1e-2,
+	}
+	rt := New(cfg)
+	victims := []schedule.Worker{{Stage: 1, Pipeline: 2}}
+
+	// DES side: reconstruct the event from the pre-event Program alone,
+	// the way the trace replayer would.
+	prog, err := rt.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := sim.ExecuteProgram(prog, sim.ProgramOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minOpt := int64(-1)
+	for i := range prog.Instrs {
+		if prog.Instrs[i].Op.Type == schedule.Optimizer {
+			if minOpt < 0 || full.Start[i] < minOpt {
+				minOpt = full.Start[i]
+			}
+		}
+	}
+	cut := minOpt / 2
+	if cut < 1 {
+		cut = 1
+	}
+	var costs schedule.CostFunc
+	if cm := rt.eng.CostModel(); cm != nil {
+		costs = cm.Fn()
+	}
+	lv, err := replay.LiveSplice(replay.LiveEvent{Prog: prog, Cut: cut, Fail: victims, Costs: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv.Spliced.LostOps == 0 {
+		t.Fatalf("cut %d lost no completed work; the event is not exercising re-execution", cut)
+	}
+	des, err := sim.ExecuteProgram(lv.Program, sim.ProgramOptions{Done: lv.Done, ReleaseAt: lv.Floors})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if des.Completed != len(lv.Program.Instrs) {
+		t.Fatalf("DES completed %d of %d spliced instructions", des.Completed, len(lv.Program.Instrs))
+	}
+
+	// Live side: the chaos path runs the same event for real.
+	loss, err := rt.RunIterationFailure(victims, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, starts, ends := rt.ExecutedTimeline()
+	if len(live.Instrs) != len(lv.Program.Instrs) {
+		t.Fatalf("live spliced Program has %d instructions, DES derivation %d", len(live.Instrs), len(lv.Program.Instrs))
+	}
+	for i := range live.Instrs {
+		if live.Instrs[i].Op != lv.Program.Instrs[i].Op {
+			t.Fatalf("instruction %d differs: live %s vs DES %s", i, live.Instrs[i].Op, lv.Program.Instrs[i].Op)
+		}
+		if starts[i] != des.Start[i] || ends[i] != des.End[i] {
+			t.Fatalf("instruction %d (%s): live span [%d,%d] != DES span [%d,%d]",
+				i, live.Instrs[i].Op, starts[i], ends[i], des.Start[i], des.End[i])
+		}
+	}
+
+	// The kill changed the schedule, never the math.
+	ref := New(cfg)
+	refLoss, err := ref.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss != refLoss {
+		t.Fatalf("chaos-iteration loss %v != fault-free %v (training math must be bitwise preserved)", loss, refLoss)
 	}
 }
 

@@ -1,0 +1,249 @@
+package dtrain
+
+import (
+	"fmt"
+	"math/rand"
+
+	"recycle/internal/schedule"
+	"recycle/internal/sim"
+)
+
+// KillPoint classifies where in a victim's instruction stream a chaos kill
+// lands. All three land mid-iteration; they differ in what in-flight state
+// the re-send protocol must recover.
+type KillPoint int
+
+const (
+	// KillAtSend kills a victim at the instant one of its cross-worker
+	// sends completes: the payload is out — stashed, possibly already
+	// consumed downstream — and the sender is gone.
+	KillAtSend KillPoint = iota
+	// KillBetweenOps kills a victim at the boundary after one of its
+	// compute instructions, chosen uniformly.
+	KillBetweenOps
+	// KillDuringAllReduce kills a victim at the brink of the gradient
+	// all-reduce: every compute instruction that can complete by then has,
+	// and the optimizer rendezvous is about to begin.
+	KillDuringAllReduce
+)
+
+// String renders the kill point as its CLI spelling.
+func (p KillPoint) String() string {
+	switch p {
+	case KillAtSend:
+		return "send"
+	case KillBetweenOps:
+		return "ops"
+	case KillDuringAllReduce:
+		return "allreduce"
+	}
+	return fmt.Sprintf("KillPoint(%d)", int(p))
+}
+
+// ParseKillPoint parses the CLI spelling of a kill point.
+func ParseKillPoint(s string) (KillPoint, error) {
+	switch s {
+	case "send":
+		return KillAtSend, nil
+	case "ops":
+		return KillBetweenOps, nil
+	case "allreduce":
+		return KillDuringAllReduce, nil
+	}
+	return 0, fmt.Errorf("dtrain: unknown kill point %q (want send, ops or allreduce)", s)
+}
+
+// ChaosOptions seeds one reproducible fault-injection run.
+type ChaosOptions struct {
+	// Seed drives every random choice (victims, kill instant). Two runs
+	// with the same Config and ChaosOptions are identical.
+	Seed int64
+	// Iterations is the total training iterations to run (> KillIter).
+	Iterations int
+	// KillIter is the iteration during which the kill lands.
+	KillIter int
+	// Victims is how many workers die at the kill instant (>= 1). Victims
+	// are drawn so every stage keeps at least one live worker.
+	Victims int
+	// Point selects where in the victims' instruction streams the kill
+	// lands.
+	Point KillPoint
+}
+
+// ChaosResult reports one chaos run against its fault-free reference.
+type ChaosResult struct {
+	// Victims are the workers killed mid-iteration, Cut the logical slot
+	// the kill landed on, Event the splice event ID the spliced Program
+	// was published under.
+	Victims []schedule.Worker
+	Cut     int64
+	Event   string
+	// Losses and RefLosses are the per-iteration mean losses of the chaos
+	// run and the fault-free reference.
+	Losses, RefLosses []float64
+}
+
+// BitwiseEqual reports whether every iteration's loss matches the
+// fault-free reference exactly — the paper's invariant that pipeline
+// adaptation changes the schedule, never the math.
+func (r *ChaosResult) BitwiseEqual() bool {
+	if len(r.Losses) != len(r.RefLosses) {
+		return false
+	}
+	for i := range r.Losses {
+		if r.Losses[i] != r.RefLosses[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Chaos runs a seeded fault-injection experiment: a training run in which
+// randomly chosen workers are killed mid-iteration at a randomized
+// instruction boundary, side by side with an identical fault-free run. The
+// kill exercises the full live failure path — stash-and-replay re-sends,
+// LiveSplice, effect discard, suffix re-execution — and the victims are
+// restored from live peers at the next iteration boundary, so the runs
+// must stay bitwise loss-equal throughout.
+func Chaos(cfg Config, opt ChaosOptions) (*ChaosResult, error) {
+	if opt.Iterations <= opt.KillIter || opt.KillIter < 0 {
+		return nil, fmt.Errorf("dtrain: chaos needs 0 <= kill iteration %d < iterations %d", opt.KillIter, opt.Iterations)
+	}
+	if opt.Victims < 1 {
+		return nil, fmt.Errorf("dtrain: chaos needs at least one victim, got %d", opt.Victims)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	rt, ref := New(cfg), New(cfg)
+	res := &ChaosResult{}
+	for it := 0; it < opt.Iterations; it++ {
+		if it == opt.KillIter+1 {
+			// Boundary restore: repaired machines come back with
+			// parameters and optimizer state copied from live peers, and
+			// the remaining iterations run on the full fleet again.
+			for _, v := range res.Victims {
+				if err := rt.Rejoin(v); err != nil {
+					return nil, err
+				}
+			}
+		}
+		var loss float64
+		var err error
+		if it == opt.KillIter {
+			victims, cut, pickErr := pickKill(rt, cfg, opt, rng)
+			if pickErr != nil {
+				return nil, pickErr
+			}
+			res.Victims, res.Cut = victims, cut
+			loss, err = rt.RunIterationFailure(victims, cut)
+			res.Event = rt.LastSpliceEvent()
+		} else {
+			loss, err = rt.RunIteration()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dtrain: chaos iteration %d: %w", it, err)
+		}
+		refLoss, err := ref.RunIteration()
+		if err != nil {
+			return nil, fmt.Errorf("dtrain: reference iteration %d: %w", it, err)
+		}
+		res.Losses = append(res.Losses, loss)
+		res.RefLosses = append(res.RefLosses, refLoss)
+	}
+	return res, nil
+}
+
+// pickKill draws the victim set and the kill instant for the current
+// Program, both from the seeded rng. Victims leave every stage at least
+// one live worker (the paper's survivability envelope; also what makes a
+// later boundary restore possible). The kill instant is clamped below the
+// first optimizer start: a kill landing after an optimizer step completed
+// is an iteration-boundary failure, not a mid-iteration one — the
+// all-reduce made the step durable everywhere except the victim, whose
+// replica is discarded at restore anyway.
+func pickKill(rt *Runtime, cfg Config, opt ChaosOptions, rng *rand.Rand) ([]schedule.Worker, int64, error) {
+	pool := make([]schedule.Worker, 0, cfg.DP*cfg.PP)
+	for k := 0; k < cfg.DP; k++ {
+		for s := 0; s < cfg.PP; s++ {
+			pool = append(pool, schedule.Worker{Stage: s, Pipeline: k})
+		}
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	perStage := make([]int, cfg.PP)
+	var victims []schedule.Worker
+	for _, w := range pool {
+		if len(victims) == opt.Victims {
+			break
+		}
+		if perStage[w.Stage] == cfg.DP-1 {
+			continue // every stage keeps a live worker
+		}
+		victims = append(victims, w)
+		perStage[w.Stage]++
+	}
+	if len(victims) < opt.Victims {
+		return nil, 0, fmt.Errorf("dtrain: cannot pick %d victims from a %dx%d fleet with every stage kept live", opt.Victims, cfg.DP, cfg.PP)
+	}
+	victimSet := make(map[schedule.Worker]bool, len(victims))
+	for _, v := range victims {
+		victimSet[v] = true
+	}
+
+	prog, err := rt.Program()
+	if err != nil {
+		return nil, 0, err
+	}
+	ex, err := sim.ExecuteProgram(prog, sim.ProgramOptions{})
+	if err != nil {
+		return nil, 0, err
+	}
+	minOpt := int64(-1)
+	for i := range prog.Instrs {
+		if prog.Instrs[i].Op.Type != schedule.Optimizer {
+			continue
+		}
+		if minOpt < 0 || ex.Start[i] < minOpt {
+			minOpt = ex.Start[i]
+		}
+	}
+	var cut int64
+	switch opt.Point {
+	case KillDuringAllReduce:
+		cut = minOpt
+	default:
+		var cands []int64
+		for i := range prog.Instrs {
+			op := prog.Instrs[i].Op
+			if !victimSet[op.Worker()] || op.Type == schedule.Optimizer {
+				continue
+			}
+			if opt.Point == KillAtSend && !opSends(op, cfg.PP) {
+				continue
+			}
+			cands = append(cands, ex.End[i])
+		}
+		if len(cands) == 0 {
+			return nil, 0, fmt.Errorf("dtrain: no %s kill candidate on victims %v", opt.Point, victims)
+		}
+		cut = cands[rng.Intn(len(cands))]
+	}
+	if minOpt >= 0 && cut > minOpt {
+		cut = minOpt
+	}
+	if cut < 1 {
+		cut = 1
+	}
+	return victims, cut, nil
+}
+
+// opSends reports whether an instruction's completion coincides with a
+// cross-worker send: a forward that feeds a next stage, or a backward that
+// returns an input gradient upstream.
+func opSends(op schedule.Op, pp int) bool {
+	switch op.Type {
+	case schedule.F:
+		return op.Stage < pp-1
+	case schedule.B, schedule.BInput:
+		return op.Stage > 0
+	}
+	return false
+}

@@ -1,0 +1,172 @@
+package dtrain
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"recycle/internal/nn"
+	"recycle/internal/tensor"
+)
+
+// TestStashRingProperty drives the send stash through seeded interleavings
+// of send, ack and iteration GC, checking the protocol invariant after
+// every step: a payload is replayable if and only if it was sent and not
+// since acknowledged (individually or by its iteration's boundary GC), and
+// what replays is always the latest copy sent.
+func TestStashRingProperty(t *testing.T) {
+	keys := make([]msgKey, 0, 12)
+	for i := 0; i < 12; i++ {
+		keys = append(keys, msgKey{
+			kind:  msgKind(i % 4),
+			stage: i % 3,
+			iter:  i % 2,
+			mb:    nn.MBKey{Pipeline: i % 2, MB: i / 2},
+			peer:  i % 2,
+		})
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := newSendStash()
+		model := make(map[msgKey]*tensor.Matrix) // unacked payloads only
+		for step := 0; step < 300; step++ {
+			k := keys[rng.Intn(len(keys))]
+			switch rng.Intn(3) {
+			case 0: // send (a re-send of an acked key re-opens it)
+				m := &tensor.Matrix{Rows: step}
+				s.put(k, payload{mat: m})
+				model[k] = m
+			case 1: // acknowledge one payload
+				s.ack(k)
+				delete(model, k)
+			case 2: // iteration-boundary GC
+				it := rng.Intn(2)
+				s.ackIteration(it)
+				for mk := range model {
+					if mk.iter == it {
+						delete(model, mk)
+					}
+				}
+			}
+			for _, mk := range keys {
+				p, ok := s.replay(mk)
+				want, live := model[mk]
+				if ok != live {
+					t.Fatalf("seed %d step %d: key {%s} replayable=%v, want %v", seed, step, mk, ok, live)
+				}
+				if ok && p.mat != want {
+					t.Fatalf("seed %d step %d: key {%s} replayed a stale payload", seed, step, mk)
+				}
+			}
+		}
+	}
+}
+
+// TestStashIterationGCBoundsMemory is the regression test that the
+// iteration-boundary GC actually bounds stash memory: every iteration's
+// entries — acked or not — are collected at its boundary, so the stash
+// never holds more than one iteration's cross-worker traffic.
+func TestStashIterationGCBoundsMemory(t *testing.T) {
+	s := newSendStash()
+	const perIter = 10
+	for it := 0; it < 8; it++ {
+		for i := 0; i < perIter; i++ {
+			s.put(msgKey{kind: msgAct, stage: i, iter: it, mb: nn.MBKey{MB: i}}, payload{})
+		}
+		s.ack(msgKey{kind: msgAct, stage: 0, iter: it, mb: nn.MBKey{MB: 0}})
+		if got := s.len(); got != perIter {
+			t.Fatalf("iteration %d: stash holds %d entries before its GC, want %d (leak across boundaries)", it, got, perIter)
+		}
+		if n := s.ackIteration(it); n != perIter {
+			t.Fatalf("iteration %d: boundary GC collected %d entries, want %d", it, n, perIter)
+		}
+		if got := s.len(); got != 0 {
+			t.Fatalf("iteration %d: boundary GC left %d entries", it, got)
+		}
+	}
+}
+
+// TestIterationBoundaryReleasesStashes is the stage-side half of the
+// memory-bound regression: activation stashes are retained through the
+// iteration for mid-failure re-execution, so the boundary must release
+// them all — a leak here would panic the next iteration's forwards.
+func TestIterationBoundaryReleasesStashes(t *testing.T) {
+	cfg := Config{
+		DP: 2, PP: 2, MB: 4,
+		InDim: 6, Hidden: 8, OutDim: 3, MicroBatchSize: 4,
+		Seed: 5, LR: 1e-2,
+	}
+	rt := New(cfg)
+	for i := 0; i < 3; i++ {
+		if _, err := rt.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+		for w, st := range rt.stages {
+			if n := st.PendingStashes(); n != 0 {
+				t.Fatalf("iteration %d: worker %s still holds %d activation stashes after the boundary", i, w, n)
+			}
+		}
+	}
+}
+
+// TestAbortMidSendNeverDeadlocks pins the teardown fix: a sender whose
+// rendezvous slot is already full (its receiver died or was invalidated)
+// must not block — pre-fix it parked forever on the cap-1 channel — and
+// after an abort both send and recv report teardown symmetrically.
+func TestAbortMidSendNeverDeadlocks(t *testing.T) {
+	r := newRouter()
+	k := msgKey{kind: msgAct, stage: 1, iter: 0, mb: nn.MBKey{Pipeline: 0, MB: 0}}
+	if !r.send(k, payload{}) {
+		t.Fatal("first send rejected on a live router")
+	}
+	done := make(chan bool, 1)
+	go func() { done <- r.send(k, payload{}) }()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("duplicate send on a live router reported teardown")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("send deadlocked on a full rendezvous channel with no receiver")
+	}
+
+	r.abort()
+	r.abort() // idempotent
+	if r.send(k, payload{}) {
+		t.Fatal("send after abort reported success")
+	}
+	if _, ok := r.recv(msgKey{kind: msgGrad, stage: 0, iter: 0, mb: nn.MBKey{MB: 1}}); ok {
+		t.Fatal("recv after abort reported a message")
+	}
+}
+
+// TestRecvPrefersLiveChannelThenStash pins the recv resolution order the
+// re-send protocol relies on: a buffered original is consumed first; once
+// consumed, a re-requesting receiver is served from the stash; an
+// acknowledged stash entry no longer replays.
+func TestRecvPrefersLiveChannelThenStash(t *testing.T) {
+	r := newRouter()
+	k := msgKey{kind: msgAct, stage: 1, iter: 0, mb: nn.MBKey{MB: 2}}
+	m := &tensor.Matrix{Rows: 1}
+	if !r.send(k, payload{mat: m}) {
+		t.Fatal("send rejected")
+	}
+	p, ok := r.recv(k)
+	if !ok || p.mat != m {
+		t.Fatal("original copy not delivered from the rendezvous channel")
+	}
+	// The original was consumed; a re-executed consumer re-requests the
+	// same key and must be served from the send stash.
+	p, ok = r.recv(k)
+	if !ok || p.mat != m {
+		t.Fatal("re-requested payload not replayed from the stash")
+	}
+	r.ackIteration(0)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		r.abort()
+	}()
+	if _, ok := r.recv(k); ok {
+		t.Fatal("acked payload was replayed after the iteration-boundary GC")
+	}
+}

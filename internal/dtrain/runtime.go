@@ -13,7 +13,6 @@ import (
 	"recycle/internal/profile"
 	"recycle/internal/replay"
 	"recycle/internal/schedule"
-	"recycle/internal/sim"
 	"recycle/internal/tensor"
 )
 
@@ -98,6 +97,9 @@ type Runtime struct {
 	lastProg   *schedule.Program
 	lastStarts []int64
 	lastEnds   []int64
+	// lastSpliceEvent is the event ID of the most recent mid-iteration
+	// splice, the key its Program was published under in the plan store.
+	lastSpliceEvent string
 }
 
 // New builds a healthy DP x PP runtime with identical stage replicas
@@ -264,13 +266,15 @@ func (rt *Runtime) RunIteration() (float64, error) {
 		}(w)
 	}
 	wg.Wait()
-	return rt.finish(prog, board, valErrs)
+	return rt.finish(prog, board, r, valErrs)
 }
 
 // finish seals one interpreted iteration: it records the executed
-// timeline, collects executor errors, rolls back on failure (§5) and
-// reduces the iteration loss.
-func (rt *Runtime) finish(prog *schedule.Program, board *depBoard, valErrs chan error) (float64, error) {
+// timeline, collects executor errors, rolls back on failure (§5),
+// acknowledges the iteration's stashed sends and retained activation
+// stashes (the boundary GC of the re-send protocol), and reduces the
+// iteration loss.
+func (rt *Runtime) finish(prog *schedule.Program, board *depBoard, r *router, valErrs chan error) (float64, error) {
 	rt.lastProg = prog
 	rt.lastStarts, rt.lastEnds = board.snapshot()
 	close(valErrs)
@@ -297,6 +301,16 @@ func (rt *Runtime) finish(prog *schedule.Program, board *depBoard, valErrs chan 
 		rt.iter++
 		return 0, fmt.Errorf("dtrain: iteration %d rolled back: %w", rt.iter-1, firstErr)
 	}
+	// Iteration boundary: every optimizer step validated, so no failure
+	// can re-request this iteration's tensors anymore. Acknowledge and GC
+	// the router's stashed sends and free the activation stashes the
+	// stages retained for mid-iteration re-execution.
+	for it := 0; it < prog.Shape.Iter; it++ {
+		r.ackIteration(it)
+	}
+	for _, st := range rt.stages {
+		st.ReleaseStashes()
+	}
 	loss := rt.iterationLoss()
 	rt.iter++
 	return loss, nil
@@ -304,64 +318,63 @@ func (rt *Runtime) finish(prog *schedule.Program, board *depBoard, valErrs chan 
 
 // RunIterationRejoin executes one training iteration during which the
 // failed worker w re-joins mid-iteration, at logical slot cutSlot — the
-// live-runtime half of the replay subsystem's splice path. The iteration
-// runs in two phases around one shared router: first the executed prefix
-// of the pre-event Program (exactly the instructions the DES predicts
-// complete by the cut — agreement by construction makes that the runtime's
-// own prefix), then, after the worker's parameters are restored from a
-// live peer at the splice instant, the suffix of the replay.Splice
-// Program, on whose re-planned streams the repaired worker computes — and
-// steps its stage's optimizer — before the iteration boundary it would
-// otherwise have idled to.
+// live-runtime half of the replay subsystem's splice path. See
+// runSplicedIteration for the two-phase mechanics.
 func (rt *Runtime) RunIterationRejoin(w schedule.Worker, cutSlot int64) (float64, error) {
-	if !rt.failed[w] {
-		return 0, fmt.Errorf("dtrain: worker %s is not failed", w)
+	return rt.runSplicedIteration(cutSlot, nil, []schedule.Worker{w})
+}
+
+// RunIterationFailure executes one training iteration during which the
+// given live workers are killed mid-iteration, at logical slot cutSlot —
+// the chaos-ready half of the splice path. The victims run (and send)
+// normally up to the cut; when the kill lands, the coordinator splices a
+// new Program via replay.LiveSplice, surviving peers discard the effects
+// of instructions whose provenance died, and the re-planned suffix
+// re-executes them — re-requesting any tensor the victims' streams had
+// already consumed from the router's send stash. The victims stay failed
+// afterward (Rejoin brings them back at a later boundary or splice).
+func (rt *Runtime) RunIterationFailure(victims []schedule.Worker, cutSlot int64) (float64, error) {
+	return rt.runSplicedIteration(cutSlot, victims, nil)
+}
+
+// runSplicedIteration executes one training iteration around a
+// mid-iteration membership event at logical slot cutSlot: workers in fail
+// die at the cut, workers in rejoin are restored at it. The iteration runs
+// in two phases around one shared router: first the executed prefix of the
+// pre-event Program (exactly the instructions the DES predicts complete by
+// the cut — agreement by construction makes that the runtime's own
+// prefix), with every cross-worker payload stashed by the re-send
+// protocol; then, after victims are marked failed, invalidated effects are
+// discarded and rejoining workers restored, the suffix of the
+// replay.LiveSplice Program, whose re-executed instructions replay any
+// already-consumed tensors from the stash.
+func (rt *Runtime) runSplicedIteration(cutSlot int64, fail, rejoin []schedule.Worker) (float64, error) {
+	for _, w := range rejoin {
+		if !rt.failed[w] {
+			return 0, fmt.Errorf("dtrain: worker %s is not failed", w)
+		}
 	}
-	if cutSlot < 1 {
-		return 0, fmt.Errorf("dtrain: re-join cut slot %d must be >= 1", cutSlot)
+	for _, w := range fail {
+		if rt.failed[w] {
+			return 0, fmt.Errorf("dtrain: worker %s is already failed", w)
+		}
 	}
 	prog, err := rt.Program()
 	if err != nil {
 		return 0, err
 	}
-	cutEx, err := sim.ExecuteProgram(prog, sim.ProgramOptions{CutAt: cutSlot})
-	if err != nil {
-		return 0, err
-	}
-	// The all-reduce rendezvous (contribution sends, reduced broadcasts)
-	// must not straddle the cut: a stage whose optimizer steps split
-	// between the phases would leave a phase-1 root blocked on a phase-2
-	// contribution.
-	type stageIter struct{ iter, stage int }
-	optDone, optPending := map[stageIter]bool{}, map[stageIter]bool{}
-	for i := range prog.Instrs {
-		op := prog.Instrs[i].Op
-		if op.Type != schedule.Optimizer {
-			continue
-		}
-		k := stageIter{op.Iter, op.Stage}
-		if cutEx.End[i] >= 0 {
-			optDone[k] = true
-		} else {
-			optPending[k] = true
-		}
-	}
-	for k := range optDone {
-		if optPending[k] {
-			return 0, fmt.Errorf("dtrain: cut %d splits stage %d's optimizer across the event; re-join before the stage's all-reduce", cutSlot, k.stage)
-		}
-	}
 	var costs schedule.CostFunc
 	if cm := rt.eng.CostModel(); cm != nil {
 		costs = cm.Fn()
 	}
-	spl, err := replay.Splice(replay.SpliceInput{
-		Prog: prog, Starts: cutEx.Start, Ends: cutEx.End,
-		Cut: cutSlot, Rejoin: []schedule.Worker{w}, Costs: costs,
+	lv, err := replay.LiveSplice(replay.LiveEvent{
+		Prog: prog, Cut: cutSlot, Fail: fail, Rejoin: rejoin, Costs: costs,
 	})
 	if err != nil {
 		return 0, err
 	}
+	cutEx, spl := lv.CutExec, lv.Spliced
+	rt.publishSplice(cutSlot, fail, rejoin, spl.Program)
 
 	r := newRouter()
 	rt.losses = make(map[nn.MBKey]float64)
@@ -378,7 +391,9 @@ func (rt *Runtime) RunIterationRejoin(w schedule.Worker, cutSlot int64) (float64
 
 	// Phase 1: the executed prefix of the pre-event Program (per-worker
 	// stream prefixes; messages to post-event consumers buffer in the
-	// router).
+	// router). Victims execute their prefixes too — they were alive until
+	// the cut, and the sends they performed are exactly what the stash
+	// must hold when the kill lands.
 	board1 := newDepBoard(len(prog.Instrs))
 	for _, wk := range prog.Workers() {
 		stream := prog.Streams[wk]
@@ -399,14 +414,41 @@ func (rt *Runtime) RunIterationRejoin(w schedule.Worker, cutSlot int64) (float64
 	}
 	wg.Wait()
 	if len(valErrs) > 0 {
-		return rt.finish(prog, board1, valErrs)
+		return rt.finish(prog, board1, r, valErrs)
 	}
 
-	// The repaired worker's parameters and optimizer state are restored
+	// The event lands now. Victims die with their materialized state —
+	// activation stashes and weight-gradient stores on their stage objects
+	// are unreachable; only their router-stashed sends survive, because
+	// the stash is coordinator-visible shared memory.
+	for _, w := range fail {
+		rt.Fail(w)
+	}
+	// Surviving peers discard the effects of completed instructions whose
+	// provenance died (the LiveSplice lost cascade): the suffix re-executes
+	// them, and the duplicate guards on Forward/BackwardWeight would
+	// otherwise trip on the stale first copy.
+	for _, id := range lv.Lost {
+		op := prog.Instrs[id].Op
+		w := op.Worker()
+		if rt.failed[w] {
+			continue // died with the worker; live peers re-derive it
+		}
+		key := nn.MBKey{Pipeline: op.Home, MB: op.MB}
+		switch op.Type {
+		case schedule.F:
+			rt.stages[w].DiscardStash(key)
+		case schedule.B, schedule.BWeight:
+			rt.stages[w].DiscardGrad(key)
+		}
+	}
+	// A re-joining worker's parameters and optimizer state are restored
 	// from a live data-parallel peer now — at the splice instant, not the
 	// iteration boundary (§3.4, pulled forward).
-	if err := rt.Rejoin(w); err != nil {
-		return 0, err
+	for _, w := range rejoin {
+		if err := rt.Rejoin(w); err != nil {
+			return 0, err
+		}
 	}
 
 	// Phase 2: the spliced Program's re-planned suffix, its dep board
@@ -435,8 +477,53 @@ func (rt *Runtime) RunIterationRejoin(w schedule.Worker, cutSlot int64) (float64
 		}(wk, ids, predsOf(wk))
 	}
 	wg.Wait()
-	return rt.finish(spl.Program, board2, valErrs)
+	return rt.finish(spl.Program, board2, r, valErrs)
 }
+
+// publishSplice records the splice event and replicates the freshly
+// spliced Program through the plan service's store under a per-event key,
+// so fetch-only executor clients can pull the exact artifact this
+// coordinator is interpreting (engine.Client.SplicedProgram). Skipped when
+// the runtime is itself a fetch-only executor; best-effort either way —
+// the local iteration proceeds on the in-memory artifact.
+func (rt *Runtime) publishSplice(cut int64, fail, rejoin []schedule.Worker, p *schedule.Program) {
+	event := SpliceEventID(rt.iter, cut, fail, rejoin)
+	rt.lastSpliceEvent = event
+	if rt.progSrc != nil {
+		return
+	}
+	_ = rt.eng.PublishSplicedProgram(event, p)
+}
+
+// SpliceEventID derives the canonical identifier a mid-iteration splice is
+// published under: the iteration, the cut instant, and the sorted victim
+// and rejoiner sets — every process sharing the store derives the same
+// string from the same event.
+func SpliceEventID(iter int, cut int64, fail, rejoin []schedule.Worker) string {
+	render := func(ws []schedule.Worker) string {
+		sorted := append([]schedule.Worker(nil), ws...)
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].Stage != sorted[j].Stage {
+				return sorted[i].Stage < sorted[j].Stage
+			}
+			return sorted[i].Pipeline < sorted[j].Pipeline
+		})
+		s := ""
+		for i, w := range sorted {
+			if i > 0 {
+				s += ","
+			}
+			s += fmt.Sprintf("%d.%d", w.Stage, w.Pipeline)
+		}
+		return s
+	}
+	return fmt.Sprintf("iter%d/cut%d/fail%s/rejoin%s", iter, cut, render(fail), render(rejoin))
+}
+
+// LastSpliceEvent returns the event ID of the most recent mid-iteration
+// splice this runtime performed ("" before the first) — the key its
+// spliced Program was published under.
+func (rt *Runtime) LastSpliceEvent() string { return rt.lastSpliceEvent }
 
 // iterationLoss reduces per-micro-batch losses in canonical order.
 func (rt *Runtime) iterationLoss() float64 {
@@ -523,8 +610,9 @@ func (rt *Runtime) execOps(w schedule.Worker, prog *schedule.Program, board *dep
 			record(schedule.F, time.Since(t0))
 			if last {
 				preds[key] = y
-			} else {
-				r.send(msgKey{kind: msgAct, stage: op.Stage + 1, iter: op.Iter, mb: key}, payload{mat: y})
+			} else if !r.send(msgKey{kind: msgAct, stage: op.Stage + 1, iter: op.Iter, mb: key}, payload{mat: y}) {
+				bail(si)
+				return nil
 			}
 		case schedule.B, schedule.BInput:
 			var dy *tensor.Matrix
@@ -547,8 +635,9 @@ func (rt *Runtime) execOps(w schedule.Worker, prog *schedule.Program, board *dep
 			dx := st.BackwardInput(key, dy)
 			rt.delay(schedule.BInput)
 			record(schedule.BInput, time.Since(t0))
-			if op.Stage > 0 {
-				r.send(msgKey{kind: msgGrad, stage: op.Stage - 1, iter: op.Iter, mb: key}, payload{mat: dx})
+			if op.Stage > 0 && !r.send(msgKey{kind: msgGrad, stage: op.Stage - 1, iter: op.Iter, mb: key}, payload{mat: dx}) {
+				bail(si)
+				return nil
 			}
 			if op.Type == schedule.B {
 				t1 := time.Now()
@@ -620,10 +709,14 @@ func (rt *Runtime) allReduceAndStep(w schedule.Worker, st *nn.Stage, iter int, r
 			grads = append(grads, p.Grad.Clone())
 		}
 		for _, p := range peers[1:] {
-			r.send(msgKey{kind: msgReduced, stage: w.Stage, iter: iter, peer: p}, payload{grads: grads})
+			if !r.send(msgKey{kind: msgReduced, stage: w.Stage, iter: iter, peer: p}, payload{grads: grads}) {
+				return errAborted
+			}
 		}
 	} else {
-		r.send(msgKey{kind: msgContrib, stage: w.Stage, iter: iter, peer: w.Pipeline}, payload{contribs: st.DrainStore()})
+		if !r.send(msgKey{kind: msgContrib, stage: w.Stage, iter: iter, peer: w.Pipeline}, payload{contribs: st.DrainStore()}) {
+			return errAborted
+		}
 		m, ok := r.recv(msgKey{kind: msgReduced, stage: w.Stage, iter: iter, peer: w.Pipeline})
 		if !ok {
 			return errAborted

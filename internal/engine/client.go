@@ -58,6 +58,26 @@ func (c *Client) Plan(n int) (*core.Plan, error) {
 	return DecodePlan(data)
 }
 
+// SplicedProgram fetches and decodes the mid-iteration spliced Program a
+// coordinator published under the given event identifier — the artifact a
+// remote executor needs to interpret the post-event suffix of an
+// iteration it did not splice itself.
+func (c *Client) SplicedProgram(event string) (*schedule.Program, error) {
+	return fetchSpliced(c.store, c.fp, event)
+}
+
+// fetchSpliced is the shared store fetch for spliced-Program artifacts.
+func fetchSpliced(store *planstore.Store, fp, event string) (*schedule.Program, error) {
+	data, ok, err := store.Get(spliceKey(fp, event))
+	if err != nil {
+		return nil, fmt.Errorf("engine: spliced program fetch: %w", err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("engine: no replicated spliced program for event %q (namespace %s)", event, fp)
+	}
+	return DecodeProgram(data)
+}
+
 // ProgramFor fetches and decodes the compiled Program artifact for a
 // concrete failed-worker set. It never compiles: the artifact exists iff
 // an engine sharing the store lowered that schedule and replicated it.

@@ -131,6 +131,16 @@ func programKey(fp string, ws []schedule.Worker) string {
 	return b.String()
 }
 
+// spliceKey addresses a mid-iteration spliced Program artifact in the
+// replicated store. Splices are per-event, not per-failure-set: the same
+// post-event failed set can arise from different cut instants with
+// different frozen prefixes, so the event identifier (derived canonically
+// by the coordinator from iteration, cut and membership delta) names the
+// artifact inside the plan namespace.
+func spliceKey(fp, event string) string {
+	return "splices/" + fp + "/" + event
+}
+
 // victimKey renders a sorted victim set as a fingerprint-independent key —
 // the index of the concrete warm-start hint registry, which deliberately
 // spans cost-model namespaces (that is what keeps a post-recalibration

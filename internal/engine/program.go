@@ -37,6 +37,25 @@ func (e *Engine) ProgramFor(failed map[schedule.Worker]bool) (*schedule.Program,
 	return e.compiled(s)
 }
 
+// PublishSplicedProgram replicates a mid-iteration spliced Program under
+// its event identifier, so fetch-only executor clients sharing the store
+// can pull the exact artifact the coordinator spliced and is interpreting.
+// Spliced programs bypass the get-or-solve caches on purpose: they are
+// one-shot resumption artifacts, not reusable plans.
+func (e *Engine) PublishSplicedProgram(event string, p *schedule.Program) error {
+	data, err := EncodeProgram(p)
+	if err != nil {
+		return err
+	}
+	return e.store.Put(spliceKey(e.config().fp, event), data)
+}
+
+// SplicedProgram fetches and decodes a previously published spliced
+// Program by its event identifier.
+func (e *Engine) SplicedProgram(event string) (*schedule.Program, error) {
+	return fetchSpliced(e.store, e.config().fp, event)
+}
+
 // CompiledProgram lowers (or fetches the cached lowering of) a plan this
 // engine served — the hook consumers with a *Plan in hand use to reach the
 // executable artifact.

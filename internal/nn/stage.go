@@ -110,8 +110,12 @@ func (s *Stage) BackwardInput(key MBKey, dy *tensor.Matrix) *tensor.Matrix {
 }
 
 // BackwardWeight runs the deferred weight-gradient pass, moving the
-// micro-batch's contribution into the WeightGradStore and releasing the
-// stash.
+// micro-batch's contribution into the WeightGradStore. The activation
+// stash is retained until ReleaseStashes at the iteration boundary
+// (PipeDream-style stash discipline): a mid-iteration failure can
+// invalidate an already-computed BackwardInput/BackwardWeight on a *live*
+// peer (its downstream provenance died), and re-executing it needs the
+// stash the old lifecycle would have freed here.
 func (s *Stage) BackwardWeight(key MBKey) {
 	st, ok := s.stashes[key]
 	if !ok {
@@ -129,12 +133,31 @@ func (s *Stage) BackwardWeight(key MBKey) {
 		panic(fmt.Sprintf("nn: duplicate BackwardWeight for %+v", key))
 	}
 	s.store[key] = grads
-	delete(s.stashes, key)
 }
 
-// PendingStashes returns the number of micro-batches awaiting their
-// backward passes — the in-flight activation count of the memory model.
+// PendingStashes returns the number of micro-batch activation stashes the
+// stage holds — in-flight work plus completed-but-unreleased work awaiting
+// the iteration-boundary ReleaseStashes.
 func (s *Stage) PendingStashes() int { return len(s.stashes) }
+
+// DiscardStash drops one micro-batch's activation stash — the effect of a
+// forward whose provenance died in a mid-iteration failure, about to be
+// re-executed from a re-sent upstream activation. Idempotent.
+func (s *Stage) DiscardStash(key MBKey) { delete(s.stashes, key) }
+
+// DiscardGrad drops one micro-batch's WeightGradStore contribution — the
+// effect of an invalidated BackwardWeight, cleared so the re-execution can
+// store a fresh (bitwise-identical) contribution without tripping the
+// duplicate guard. Idempotent.
+func (s *Stage) DiscardGrad(key MBKey) { delete(s.store, key) }
+
+// ReleaseStashes frees every retained activation stash — the
+// iteration-boundary acknowledgement of the stash lifecycle: once the
+// iteration's optimizer steps are validated, no failure can re-request
+// this iteration's backward work, so the stashes are garbage.
+func (s *Stage) ReleaseStashes() {
+	s.stashes = make(map[MBKey][]*Stash)
+}
 
 // StoreLen returns how many micro-batch gradient contributions sit in the
 // WeightGradStore.

@@ -1,0 +1,161 @@
+package replay
+
+import (
+	"fmt"
+
+	"recycle/internal/schedule"
+	"recycle/internal/sim"
+)
+
+// LiveEvent describes a mid-iteration membership event against a Program
+// the live runtime is interpreting: the coordinator knows the program and
+// the event instant, and delegates to the DES — whose timeline agrees with
+// the interpreter's by construction — to reconstruct which instructions
+// had completed when the event hit. This is the entry point the live
+// runtime and the trace replayer share: both hand the same (program, cut,
+// fail, rejoin) tuple to the same cut execution and the same Splice.
+type LiveEvent struct {
+	// Prog is the Program in flight when the event arrived.
+	Prog *schedule.Program
+	// Cut is the event instant on the program's logical clock (>= 1).
+	Cut int64
+	// Fail lists live workers killed at Cut; Rejoin lists failed workers
+	// restored at Cut (see SpliceInput).
+	Fail, Rejoin []schedule.Worker
+	// Costs is the cost model the program was solved with (nil for
+	// homogeneous durations).
+	Costs schedule.CostFunc
+	// Release floors per-worker re-planned start times (see SpliceInput).
+	Release map[schedule.Worker]int64
+}
+
+// LiveSpliced is a Spliced plus the live-resumption bookkeeping: the cut
+// execution that defined the prefix, and the set of original-program
+// instructions whose side effects live workers must discard before
+// interpreting the suffix.
+type LiveSpliced struct {
+	*Spliced
+	// CutExec is the DES execution of Prog cut at the event instant — its
+	// Start/End arrays define the executed prefix, per worker stream.
+	CutExec *sim.Execution
+	// Lost holds original-program instruction IDs that completed before
+	// the cut but whose results are invalid after it: work done on a
+	// dying worker, plus every completed dependent (the Splice cascade).
+	// For IDs executed on live workers, the runtime must discard the
+	// materialized effect (activation stash, weight-gradient entry) so
+	// the re-executed suffix can regenerate it.
+	Lost []int
+}
+
+// LiveSplice reconstructs the executed prefix of a live Program at an
+// event instant via the DES, applies the guards that make the splice
+// interpretable by the live runtime, and returns the spliced artifact
+// with the discard list. Two guards beyond Splice's own:
+//
+//   - No stage's optimizer step may straddle the cut (a phase-1 all-reduce
+//     root would block on a phase-2 contribution).
+//   - When workers die (Fail non-empty), no optimizer step at all may have
+//     completed before the cut: a completed step on a live worker can sit
+//     in the lost cascade, and re-executing it would double-apply the
+//     update. The live harness clamps its kill instants below the first
+//     optimizer start, which the paper's model also assumes — a failure
+//     during the all-reduce epilogue is handled as an iteration-boundary
+//     failure instead.
+func LiveSplice(in LiveEvent) (*LiveSpliced, error) {
+	if in.Prog == nil {
+		return nil, fmt.Errorf("replay: cannot live-splice a nil program")
+	}
+	if in.Cut < 1 {
+		return nil, fmt.Errorf("replay: live-splice cut slot %d must be >= 1", in.Cut)
+	}
+	opts := sim.ProgramOptions{CutAt: in.Cut}
+	if len(in.Fail) > 0 {
+		opts.FailAt = make(map[schedule.Worker]int64, len(in.Fail))
+		for _, w := range in.Fail {
+			opts.FailAt[w] = in.Cut
+		}
+	}
+	cutEx, err := sim.ExecuteProgram(in.Prog, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	p := in.Prog
+	type stageIter struct{ iter, stage int }
+	optDone, optPending := map[stageIter]bool{}, map[stageIter]bool{}
+	for i := range p.Instrs {
+		op := p.Instrs[i].Op
+		if op.Type != schedule.Optimizer {
+			continue
+		}
+		k := stageIter{op.Iter, op.Stage}
+		if cutEx.End[i] >= 0 {
+			optDone[k] = true
+		} else {
+			optPending[k] = true
+		}
+	}
+	for k := range optDone {
+		if optPending[k] {
+			return nil, fmt.Errorf("replay: cut %d splits stage %d's optimizer across the event; splice before the stage's all-reduce", in.Cut, k.stage)
+		}
+	}
+	if len(in.Fail) > 0 && len(optDone) > 0 {
+		return nil, fmt.Errorf("replay: cut %d lands after an optimizer step completed; a mid-iteration kill there would double-step — treat it as an iteration-boundary failure", in.Cut)
+	}
+
+	spl, err := Splice(SpliceInput{
+		Prog: p, Starts: cutEx.Start, Ends: cutEx.End,
+		Cut: in.Cut, Fail: in.Fail, Rejoin: in.Rejoin,
+		Costs: in.Costs, Release: in.Release,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Recompute the lost cascade Splice ran internally (it only exposes
+	// counts): completed work on dying workers plus completed dependents,
+	// by ID in the *original* program — the coordinate system the live
+	// runtime's materialized effects are keyed in.
+	out := &LiveSpliced{Spliced: spl, CutExec: cutEx}
+	if len(in.Fail) > 0 {
+		failSet := make(map[schedule.Worker]bool, len(in.Fail))
+		for _, w := range in.Fail {
+			failSet[w] = true
+		}
+		n := len(p.Instrs)
+		succs := make([][]int, n)
+		for i := range p.Instrs {
+			for _, d := range p.Instrs[i].Deps {
+				succs[d.From] = append(succs[d.From], i)
+			}
+		}
+		lost := make([]bool, n)
+		var queue []int
+		for i := range p.Instrs {
+			if cutEx.End[i] >= 0 && failSet[p.Instrs[i].Op.Worker()] {
+				lost[i] = true
+				queue = append(queue, i)
+			}
+		}
+		for len(queue) > 0 {
+			i := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, j := range succs[i] {
+				if cutEx.End[j] >= 0 && !lost[j] {
+					lost[j] = true
+					queue = append(queue, j)
+				}
+			}
+		}
+		for i := range lost {
+			if lost[i] {
+				out.Lost = append(out.Lost, i)
+			}
+		}
+		if len(out.Lost) != spl.LostOps {
+			return nil, fmt.Errorf("replay: live lost cascade found %d ops, splice accounted %d", len(out.Lost), spl.LostOps)
+		}
+	}
+	return out, nil
+}

@@ -58,7 +58,27 @@ for f in $defined; do
   fi
 done
 
-# 4. The README must link the architecture and evaluation documents, and
+# 4. The chaos surface must stay documented: ARCHITECTURE.md keeps its
+#    re-send protocol / stash lifecycle section, README documents the
+#    recycle-train -chaos mode, and the CI chaos-smoke job exists.
+if ! grep -qE '^#+ .*[Rr]e-send protocol' ARCHITECTURE.md; then
+  echo "ARCHITECTURE.md lost its re-send protocol section"
+  fail=1
+fi
+if ! grep -q 'stash' ARCHITECTURE.md; then
+  echo "ARCHITECTURE.md does not describe the stash lifecycle"
+  fail=1
+fi
+if ! grep -q '\-chaos' README.md; then
+  echo "README.md does not document the recycle-train -chaos mode"
+  fail=1
+fi
+if ! grep -q 'chaos-smoke' .github/workflows/ci.yml; then
+  echo "ci.yml lost the chaos-smoke job"
+  fail=1
+fi
+
+# 5. The README must link the architecture and evaluation documents, and
 #    ARCHITECTURE must link the evaluation map.
 if ! grep -q 'ARCHITECTURE.md' README.md; then
   echo "README.md does not link ARCHITECTURE.md"
