@@ -11,8 +11,9 @@ import (
 	"fmt"
 	"os"
 
-	"recycle/internal/engine"
+	"recycle/internal/dtrain"
 	"recycle/internal/experiments"
+	"recycle/internal/obs"
 	"recycle/internal/schedule"
 )
 
@@ -49,7 +50,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the structured results as JSON on stdout")
 	solverOnly := flag.Bool("solver", false, "run only the solver warm-start benchmark (fast; the CI bench-smoke mode)")
 	serviceOnly := flag.Bool("service", false, "run only the plan-service load benchmark (sharded vs single-mutex; the BENCH_service.json source)")
-	metricsOnly := flag.Bool("metrics", false, "exercise one engine briefly and dump its Metrics counters as JSON")
+	metricsOnly := flag.Bool("metrics", false, "run a short traced training exercise and dump the unified metrics registry (engine + runtime + per-phase trace counters) as versioned JSON")
 	flag.Parse()
 
 	var rep report
@@ -162,36 +163,28 @@ func main() {
 	}
 }
 
-// exerciseMetrics warms a small engine, drives every fetch tier once
-// (cache hit, concrete solve, straggler re-plan, invalidation), and
-// returns the counter snapshot — a quick health view of the service
-// counters without running the full load benchmark.
-func exerciseMetrics() (engine.Metrics, error) {
-	job, stats := engine.ShapeJob(4, 3, 8)
-	eng := engine.New(job, stats, engine.Options{})
-	if err := eng.Warm(2).Wait(); err != nil {
-		return engine.Metrics{}, err
+// exerciseMetrics runs a short traced training exercise — two fault-free
+// iterations, a failure, one adapted iteration — and returns the unified
+// registry snapshot: plan-service counters, runtime op totals, and the
+// per-phase span/event counts from the recorder, one versioned document.
+func exerciseMetrics() (obs.Snapshot, error) {
+	cfg := dtrain.Config{
+		DP: 2, PP: 2, MB: 4,
+		InDim: 6, Hidden: 8, OutDim: 4, MicroBatchSize: 4,
+		Seed: 7, LR: 5e-3,
 	}
-	w := schedule.Worker{Stage: 1, Pipeline: 1}
-	for _, failed := range []map[schedule.Worker]bool{
-		nil,
-		{w: true},
-		{w: true, {Stage: 0, Pipeline: 2}: true},
-	} {
-		if _, err := eng.ScheduleFor(failed); err != nil {
-			return engine.Metrics{}, err
+	rt := dtrain.New(cfg)
+	rt.AttachRecorder(obs.NewTrace())
+	for i := 0; i < 2; i++ {
+		if _, err := rt.RunIteration(); err != nil {
+			return obs.Snapshot{}, err
 		}
 	}
-	eng.MarkStraggler(w, 1.4)
-	if _, err := eng.ScheduleFor(map[schedule.Worker]bool{w: true}); err != nil {
-		return engine.Metrics{}, err
+	rt.Fail(schedule.Worker{Stage: 0, Pipeline: 1})
+	if _, err := rt.RunIteration(); err != nil {
+		return obs.Snapshot{}, err
 	}
-	eng.ClearStraggler(w)
-	eng.InvalidateCache()
-	if err := eng.Warm(1).Wait(); err != nil {
-		return engine.Metrics{}, err
-	}
-	return eng.Metrics(), nil
+	return rt.MetricsSnapshot(), nil
 }
 
 func check(err error) {

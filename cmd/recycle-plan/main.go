@@ -15,6 +15,7 @@ import (
 
 	"recycle/internal/config"
 	"recycle/internal/engine"
+	"recycle/internal/obs"
 	"recycle/internal/profile"
 	"recycle/internal/schedule"
 )
@@ -24,6 +25,7 @@ func main() {
 	failures := flag.Int("failures", 1, "simultaneous worker failures to plan for")
 	all := flag.Bool("all", false, "precompute plans for every tolerated failure count (0..DP-1) concurrently")
 	render := flag.Bool("render", false, "draw the adapted schedule (small jobs only)")
+	events := flag.Bool("events", false, "print the plan service's recorded lifecycle events (fetches, solves, warms)")
 	flag.Parse()
 
 	var job config.Job
@@ -44,6 +46,11 @@ func main() {
 		os.Exit(1)
 	}
 	eng := engine.New(job, stats, engine.Options{})
+	var rec *obs.Trace
+	if *events {
+		rec = obs.NewTrace()
+		eng.SetRecorder(rec)
+	}
 	if *all {
 		start := time.Now()
 		w := eng.Warm(0)
@@ -79,6 +86,9 @@ func main() {
 	fmt.Printf("plan service: %d solves, %d cache hits, %d store hits\n", m.Solves, m.CacheHits, m.StoreHits)
 	fmt.Printf("solver paths: %d warm hits, %d warm replays, %d scratch, %d class dedups\n",
 		m.WarmHits, m.WarmReplays, m.ScratchSolves, m.ClassDedups)
+	if *events {
+		fmt.Printf("\nplan service events:\n%s", obs.FormatEvents(rec.Events()))
+	}
 	if *render {
 		fmt.Println()
 		fmt.Println(schedule.Render(plan.Schedule, 5))

@@ -23,6 +23,7 @@ import (
 	"recycle/internal/config"
 	"recycle/internal/experiments"
 	"recycle/internal/failure"
+	"recycle/internal/obs"
 	"recycle/internal/profile"
 	"recycle/internal/replay"
 	"recycle/internal/schedule"
@@ -40,7 +41,8 @@ func main() {
 	straggle := flag.Float64("straggle", 1, "with -des: duration multiplier applied to worker W0_0 (straggler injection)")
 	aware := flag.Bool("aware", true, "with -des and -straggle != 1: also solve a straggler-aware plan (cost model carries the slowdown) and compare makespans")
 	replayMode := flag.Bool("replay", false, "drive the trace through op-granularity chained Program executions (internal/replay): mid-iteration failures and re-joins splice the in-flight Program, stalls emerge from lost instructions")
-	events := flag.Bool("events", false, "with -replay: print the per-event splice log")
+	events := flag.Bool("events", false, "with -replay: print the recorded lifecycle-event log (membership changes, kills, cuts)")
+	tracePath := flag.String("trace", "", "with -des or -replay: record every executed Program and write a Chrome/Perfetto trace to this file (critical path audited first)")
 	mtbf := flag.Duration("mtbf", 0, "per-machine Poisson failure trace: mean time between failures of each machine (0 keeps the monotonic workload)")
 	mttr := flag.Duration("mttr", 30*time.Minute, "with -mtbf: mean repair time of a failed machine (0 makes failures permanent)")
 	seed := flag.Int64("seed", 1, "with -mtbf: seed of the per-machine failure processes")
@@ -63,14 +65,14 @@ func main() {
 	}
 	rc := sim.NewReCycle(job, stats)
 	if *des >= 0 {
-		if err := desTimeline(rc, job, stats, *des, *straggle, *aware); err != nil {
+		if err := desTimeline(rc, job, stats, *des, *straggle, *aware, *tracePath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *replayMode {
-		if err := opReplay(job, *model, *gcp, *freq, *horizon, *events, *mtbf, *mttr, *seed); err != nil {
+		if err := opReplay(job, *model, *gcp, *freq, *horizon, *events, *mtbf, *mttr, *seed, *tracePath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -142,7 +144,7 @@ func main() {
 // the model; -mtbf replaces the monotonic workload with per-machine
 // Poisson failure processes; plain monotonic traces replay the Table 1
 // 32-worker shape.
-func opReplay(job config.Job, model string, gcp bool, freq, horizon time.Duration, events bool, mtbf, mttr time.Duration, seed int64) error {
+func opReplay(job config.Job, model string, gcp bool, freq, horizon time.Duration, events bool, mtbf, mttr time.Duration, seed int64, tracePath string) error {
 	var tr failure.Trace
 	switch {
 	case gcp:
@@ -166,6 +168,11 @@ func opReplay(job config.Job, model string, gcp bool, freq, horizon time.Duratio
 	}
 	opts := experiments.ReplayOptions(job, stats)
 	opts.Horizon = horizon
+	var rec *obs.Trace
+	if events || tracePath != "" {
+		rec = obs.NewTrace()
+		opts.Recorder = rec
+	}
 	res, err := replay.Replay(eng, tr, opts)
 	if err != nil {
 		return err
@@ -179,13 +186,38 @@ func opReplay(job config.Job, model string, gcp bool, freq, horizon time.Duratio
 	fmt.Printf("  emergent stall %.1fs, %d slots of completed work re-executed\n", res.StallSeconds, res.LostSlots)
 	fmt.Printf("  %d micro-batch triples migrated owners across splices\n", res.MigratedTriples)
 	if events {
-		fmt.Printf("\n%10s %6s %10s %8s %9s %8s %9s %10s %9s %8s\n",
-			"at", "kind", "machines", "workers", "replanned", "rerouted", "migrated", "lost-slots", "stall", "spliced")
-		for _, ev := range res.Events {
-			fmt.Printf("%10s %6s %10v %8v %9d %8d %9d %10d %8.1fs %8v\n",
-				ev.At.Round(time.Second), ev.Kind, ev.Machines, ev.Workers, ev.ReplannedOps, ev.ReroutedOps, ev.MigratedTriples, ev.LostSlots, ev.StallSeconds, ev.ResumedMidIteration)
-		}
+		fmt.Printf("\nrecorded lifecycle events:\n%s", obs.FormatEvents(rec.Events()))
 	}
+	if tracePath != "" {
+		return exportTrace(rec, tracePath)
+	}
+	return nil
+}
+
+// exportTrace audits the recorded trace (the critical path must tile every
+// segment's makespan exactly) and writes the Chrome/Perfetto JSON to path.
+func exportTrace(rec *obs.Trace, path string) error {
+	summary, err := obs.AuditCriticalPaths(rec)
+	if summary != "" {
+		fmt.Println("\n" + summary)
+	}
+	if err != nil {
+		return fmt.Errorf("critical-path audit: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	c := rec.Counters()
+	fmt.Printf("trace: %d segments, %d spans, %d events -> %s\n",
+		c["segments"], c["spans"], c["events"], path)
 	return nil
 }
 
@@ -194,12 +226,18 @@ func opReplay(job config.Job, model string, gcp bool, freq, horizon time.Duratio
 // throughput model cannot give. With a straggler injected, it additionally
 // re-solves with the slowdown in the Planner's cost model and reports how
 // much makespan the straggler-aware plan recovers.
-func desTimeline(rc *sim.ReCycle, job config.Job, stats profile.Stats, n int, straggle float64, aware bool) error {
+func desTimeline(rc *sim.ReCycle, job config.Job, stats profile.Stats, n int, straggle float64, aware bool, tracePath string) error {
 	prog, err := rc.Program(n)
 	if err != nil {
 		return err
 	}
 	opts := sim.ProgramOptions{}
+	var rec *obs.Trace
+	if tracePath != "" {
+		rec = obs.NewTrace()
+		opts.Recorder = rec
+		opts.TraceLabel = fmt.Sprintf("des/%df", n)
+	}
 	victim := schedule.Worker{Stage: 0, Pipeline: 0}
 	if straggle != 1 {
 		opts.Scale = map[schedule.Worker]float64{victim: straggle}
@@ -239,5 +277,8 @@ func desTimeline(rc *sim.ReCycle, job config.Job, stats profile.Stats, n int, st
 	}
 	m := rc.PlanMetrics()
 	fmt.Printf("plan service: %d solves, %d programs compiled\n", m.Solves, m.Compiles)
+	if tracePath != "" {
+		return exportTrace(rec, tracePath)
+	}
 	return nil
 }

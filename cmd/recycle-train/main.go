@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"recycle/internal/dtrain"
+	"recycle/internal/obs"
 	"recycle/internal/schedule"
 )
 
@@ -28,6 +29,7 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos rng seed (victim choice and kill instant)")
 	chaosVictims := flag.Int("chaos-victims", 1, "workers killed at the chaos kill instant")
 	chaosPoint := flag.String("chaos-point", "ops", "chaos kill point: send, ops or allreduce")
+	tracePath := flag.String("trace", "", "record every executed instruction on the adapted (or chaos) runtime and write a Chrome/Perfetto trace to this file (critical path audited first)")
 	flag.Parse()
 
 	cfg := dtrain.Config{
@@ -36,7 +38,7 @@ func main() {
 		Seed: 42, LR: 5e-3,
 	}
 	if *chaos {
-		runChaos(cfg, *iters, *chaosSeed, *chaosVictims, *chaosPoint)
+		runChaos(cfg, *iters, *chaosSeed, *chaosVictims, *chaosPoint, *tracePath)
 		return
 	}
 	victim := schedule.Worker{Stage: *pp - 2, Pipeline: 1}
@@ -46,6 +48,11 @@ func main() {
 
 	ref := dtrain.New(cfg)
 	adapted := dtrain.New(cfg)
+	var rec *obs.Trace
+	if *tracePath != "" {
+		rec = obs.NewTrace()
+		adapted.AttachRecorder(rec)
+	}
 	if *preplan {
 		if err := adapted.PrePlan(0); err != nil {
 			fmt.Fprintln(os.Stderr, "preplan:", err)
@@ -85,12 +92,45 @@ func main() {
 	m := adapted.PlanMetrics()
 	fmt.Printf("\nplan service (adapted run): %d solves, %d cache hits, %d store hits, %d Best(n) hits\n",
 		m.Solves, m.CacheHits, m.StoreHits, m.BestHits)
+	if rec != nil {
+		if err := exportTrace(rec, *tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// exportTrace audits the recorded trace (the critical path must tile every
+// segment's makespan exactly) and writes the Chrome/Perfetto JSON to path.
+func exportTrace(rec *obs.Trace, path string) error {
+	summary, err := obs.AuditCriticalPaths(rec)
+	if summary != "" {
+		fmt.Println("\n" + summary)
+	}
+	if err != nil {
+		return fmt.Errorf("critical-path audit: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	c := rec.Counters()
+	fmt.Printf("trace: %d segments, %d spans, %d events -> %s\n",
+		c["segments"], c["spans"], c["events"], path)
+	return nil
 }
 
 // runChaos drives the fault-injection harness: a seeded mid-iteration kill
 // in the middle of the run, victims restored at the next boundary, every
 // iteration's loss compared bitwise against a fault-free reference.
-func runChaos(cfg dtrain.Config, iters int, seed int64, victims int, pointName string) {
+func runChaos(cfg dtrain.Config, iters int, seed int64, victims int, pointName, tracePath string) {
 	point, err := dtrain.ParseKillPoint(pointName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -100,10 +140,20 @@ func runChaos(cfg dtrain.Config, iters int, seed int64, victims int, pointName s
 		Seed: seed, Iterations: iters, KillIter: iters / 2,
 		Victims: victims, Point: point,
 	}
+	var rec *obs.Trace
+	if tracePath != "" {
+		rec = obs.NewTrace()
+		opt.Recorder = rec
+	}
 	fmt.Printf("chaos run: DP=%d PP=%d MB=%d; %d victim(s) killed mid-iteration %d at a random %q point (seed %d)\n\n",
 		cfg.DP, cfg.PP, cfg.MB, victims, opt.KillIter, point, seed)
 	res, err := dtrain.Chaos(cfg, opt)
 	if err != nil {
+		// The chaos result carries the flight recorder even on failure —
+		// dump the last records so the crash is diagnosable post-mortem.
+		if res != nil && res.Flight != nil {
+			fmt.Fprintln(os.Stderr, res.Flight.Dump())
+		}
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
 	}
@@ -123,4 +173,10 @@ func runChaos(cfg dtrain.Config, iters int, seed int64, victims int, pointName s
 		os.Exit(1)
 	}
 	fmt.Println("\nall iterations bitwise equal: the kill changed the schedule, never the math")
+	if rec != nil {
+		if err := exportTrace(rec, tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }

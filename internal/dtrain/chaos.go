@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"recycle/internal/obs"
 	"recycle/internal/schedule"
 	"recycle/internal/sim"
 )
@@ -68,6 +69,13 @@ type ChaosOptions struct {
 	// Point selects where in the victims' instruction streams the kill
 	// lands.
 	Point KillPoint
+	// Recorder, when enabled, receives the chaos run's full trace — spans,
+	// kills, splices, re-sends (the fault-free reference run is not
+	// traced). A flight-recorder ring is always attached alongside it.
+	Recorder obs.Recorder
+	// FlightCap sizes the flight-recorder ring (obs.DefaultFlightCap when
+	// 0).
+	FlightCap int
 }
 
 // ChaosResult reports one chaos run against its fault-free reference.
@@ -81,6 +89,10 @@ type ChaosResult struct {
 	// Losses and RefLosses are the per-iteration mean losses of the chaos
 	// run and the fault-free reference.
 	Losses, RefLosses []float64
+	// Flight is the bounded ring that shadowed the chaos run; it is
+	// populated even when Chaos returns an error, so every failing repro
+	// ships its own forensic timeline (Flight.Dump).
+	Flight *obs.FlightRecorder
 }
 
 // BitwiseEqual reports whether every iteration's loss matches the
@@ -114,7 +126,9 @@ func Chaos(cfg Config, opt ChaosOptions) (*ChaosResult, error) {
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	rt, ref := New(cfg), New(cfg)
-	res := &ChaosResult{}
+	fl := obs.NewFlightRecorder(opt.FlightCap)
+	rt.AttachRecorder(obs.Multi(opt.Recorder, fl))
+	res := &ChaosResult{Flight: fl}
 	for it := 0; it < opt.Iterations; it++ {
 		if it == opt.KillIter+1 {
 			// Boundary restore: repaired machines come back with
@@ -122,7 +136,7 @@ func Chaos(cfg Config, opt ChaosOptions) (*ChaosResult, error) {
 			// the remaining iterations run on the full fleet again.
 			for _, v := range res.Victims {
 				if err := rt.Rejoin(v); err != nil {
-					return nil, err
+					return res, err
 				}
 			}
 		}
@@ -131,7 +145,7 @@ func Chaos(cfg Config, opt ChaosOptions) (*ChaosResult, error) {
 		if it == opt.KillIter {
 			victims, cut, pickErr := pickKill(rt, cfg, opt, rng)
 			if pickErr != nil {
-				return nil, pickErr
+				return res, pickErr
 			}
 			res.Victims, res.Cut = victims, cut
 			loss, err = rt.RunIterationFailure(victims, cut)
@@ -140,11 +154,14 @@ func Chaos(cfg Config, opt ChaosOptions) (*ChaosResult, error) {
 			loss, err = rt.RunIteration()
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dtrain: chaos iteration %d: %w", it, err)
+			// RunIterationFailure already folds the flight dump into a
+			// mid-splice error; every other failure gets it here, so a
+			// chaos repro always carries its timeline.
+			return res, fmt.Errorf("dtrain: chaos iteration %d: %w", it, err)
 		}
 		refLoss, err := ref.RunIteration()
 		if err != nil {
-			return nil, fmt.Errorf("dtrain: reference iteration %d: %w", it, err)
+			return res, fmt.Errorf("dtrain: reference iteration %d: %w", it, err)
 		}
 		res.Losses = append(res.Losses, loss)
 		res.RefLosses = append(res.RefLosses, refLoss)

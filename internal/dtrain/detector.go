@@ -1,10 +1,12 @@
 package dtrain
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"recycle/internal/obs"
 	"recycle/internal/schedule"
 )
 
@@ -59,8 +61,17 @@ type Detector struct {
 	reported   map[schedule.Worker]float64 // factor last delivered to the callback
 	onFail     func(schedule.Worker)
 	onStraggle func(schedule.Worker, float64)
+	rec        obs.Recorder
 	stop       chan struct{}
 	done       chan struct{}
+}
+
+// SetRecorder routes the detector's lifecycle decisions — heartbeat-lapse
+// failures and straggler flag changes — into a tracing recorder.
+func (d *Detector) SetRecorder(r obs.Recorder) {
+	d.mu.Lock()
+	d.rec = r
+	d.mu.Unlock()
 }
 
 // NewDetector builds a detector; onFail runs once per detected failure.
@@ -145,7 +156,14 @@ func (d *Detector) sweep() {
 		}
 	}
 	cb := d.onFail
+	rec := d.rec
 	d.mu.Unlock()
+	if rec != nil && rec.Enabled() {
+		for _, w := range newly {
+			rec.Event(obs.Event{Kind: obs.EvKill, At: -1, Iter: -1, Wall: now,
+				Worker: w, HasWorker: true, Detail: "heartbeat lapse"})
+		}
+	}
 	if cb != nil {
 		for _, w := range newly {
 			cb(w)
@@ -252,6 +270,7 @@ func (d *Detector) DetectStragglers() map[schedule.Worker]float64 {
 		out[w] = f
 	}
 	cb := d.onStraggle
+	rec := d.rec
 	d.mu.Unlock()
 	sort.Slice(fire, func(i, j int) bool {
 		if fire[i].w.Stage != fire[j].w.Stage {
@@ -259,6 +278,14 @@ func (d *Detector) DetectStragglers() map[schedule.Worker]float64 {
 		}
 		return fire[i].w.Pipeline < fire[j].w.Pipeline
 	})
+	if rec != nil && rec.Enabled() {
+		for _, c := range fire {
+			rec.Event(obs.Event{Kind: obs.EvStraggler, At: -1, Iter: -1, Wall: time.Now(),
+				Worker: c.w, HasWorker: true,
+				Detail: fmt.Sprintf("factor %.2f", c.factor),
+				Attrs:  []obs.Attr{{Key: "factor-pct", Val: int64(c.factor * 100)}}})
+		}
+	}
 	if cb != nil {
 		for _, c := range fire {
 			cb(c.w, c.factor)

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"recycle/internal/nn"
+	"recycle/internal/obs"
 	"recycle/internal/tensor"
 )
 
@@ -140,6 +141,10 @@ type router struct {
 	stash *sendStash
 	done  chan struct{}
 	once  sync.Once
+	// rec, when enabled, records a re-send event each time a payload is
+	// served from the stash instead of the live rendezvous (nil in tests
+	// that build routers directly).
+	rec obs.Recorder
 }
 
 func newRouter() *router {
@@ -198,6 +203,9 @@ func (r *router) recv(k msgKey) (payload, bool) {
 	default:
 	}
 	if p, ok := r.stash.replay(k); ok {
+		if r.rec != nil && r.rec.Enabled() {
+			r.rec.Event(obs.Event{Kind: obs.EvResend, At: -1, Iter: k.iter, Detail: k.String()})
+		}
 		return p, true
 	}
 	select {

@@ -9,6 +9,7 @@ import (
 
 	"recycle/internal/engine"
 	"recycle/internal/nn"
+	"recycle/internal/obs"
 	"recycle/internal/planstore"
 	"recycle/internal/profile"
 	"recycle/internal/replay"
@@ -100,6 +101,12 @@ type Runtime struct {
 	// lastSpliceEvent is the event ID of the most recent mid-iteration
 	// splice, the key its Program was published under in the plan store.
 	lastSpliceEvent string
+
+	// rec receives one span per interpreted instruction plus the
+	// iteration/kill/splice lifecycle stream (obs.Nop by default). Installed
+	// via AttachRecorder before training starts; executor goroutines read it
+	// without locking.
+	rec obs.Recorder
 }
 
 // New builds a healthy DP x PP runtime with identical stage replicas
@@ -118,6 +125,7 @@ func New(cfg Config) *Runtime {
 		opCounts:   make(map[schedule.OpType]int),
 		wOpSeconds: make(map[schedule.Worker]time.Duration),
 		wOpCounts:  make(map[schedule.Worker]int),
+		rec:        obs.Nop{},
 	}
 	for k := 0; k < cfg.DP; k++ {
 		// Every pipeline gets an identical replica: same seed.
@@ -141,7 +149,13 @@ func (rt *Runtime) newOptimizer() nn.Optimizer {
 // Fail marks a worker failed before the next iteration (the coordinator's
 // response to a detector event; training resumes from the iteration in
 // which the failure was identified, §4.1).
-func (rt *Runtime) Fail(w schedule.Worker) { rt.failed[w] = true }
+func (rt *Runtime) Fail(w schedule.Worker) {
+	rt.failed[w] = true
+	if rt.rec.Enabled() {
+		rt.rec.Event(obs.Event{Kind: obs.EvKill, At: -1, Iter: rt.iter, Wall: time.Now(),
+			Worker: w, HasWorker: true, Detail: "boundary"})
+	}
+}
 
 // Rejoin brings a repaired worker back: its parameters and optimizer state
 // are copied point-to-point from a live data-parallel peer at an iteration
@@ -174,6 +188,10 @@ func (rt *Runtime) Rejoin(w schedule.Worker) error {
 		rt.opts[w].(*nn.AdamW).CopyStateFrom(a, srcP, dstP)
 	}
 	delete(rt.failed, w)
+	if rt.rec.Enabled() {
+		rt.rec.Event(obs.Event{Kind: obs.EvRejoin, At: -1, Iter: rt.iter, Wall: time.Now(),
+			Worker: w, HasWorker: true, Detail: "restored from " + donor.String()})
+	}
 	return nil
 }
 
@@ -249,7 +267,12 @@ func (rt *Runtime) RunIteration() (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if rt.rec.Enabled() {
+		rt.rec.BeginProgram(fmt.Sprintf("iter%d", rt.iter), prog)
+		rt.rec.Event(obs.Event{Kind: obs.EvIterStart, At: 0, Iter: rt.iter, Wall: time.Now()})
+	}
 	r := newRouter()
+	r.rec = rt.rec
 	board := newDepBoard(len(prog.Instrs))
 	rt.losses = make(map[nn.MBKey]float64)
 	rt.stepped = make(map[schedule.Worker]int)
@@ -298,6 +321,10 @@ func (rt *Runtime) finish(prog *schedule.Program, board *depBoard, r *router, va
 				st.Reset()
 			}
 		}
+		if rt.rec.Enabled() {
+			rt.rec.Event(obs.Event{Kind: obs.EvRollback, At: maxEnd(rt.lastEnds), Iter: rt.iter,
+				Wall: time.Now(), Detail: firstErr.Error()})
+		}
 		rt.iter++
 		return 0, fmt.Errorf("dtrain: iteration %d rolled back: %w", rt.iter-1, firstErr)
 	}
@@ -312,8 +339,23 @@ func (rt *Runtime) finish(prog *schedule.Program, board *depBoard, r *router, va
 		st.ReleaseStashes()
 	}
 	loss := rt.iterationLoss()
+	if rt.rec.Enabled() {
+		rt.rec.Event(obs.Event{Kind: obs.EvIterEnd, At: maxEnd(rt.lastEnds), Iter: rt.iter, Wall: time.Now()})
+	}
 	rt.iter++
 	return loss, nil
+}
+
+// maxEnd returns the latest executed end time — an iteration's logical
+// makespan.
+func maxEnd(ends []int64) int64 {
+	var out int64
+	for _, e := range ends {
+		if e > out {
+			out = e
+		}
+	}
+	return out
 }
 
 // RunIterationRejoin executes one training iteration during which the
@@ -334,7 +376,16 @@ func (rt *Runtime) RunIterationRejoin(w schedule.Worker, cutSlot int64) (float64
 // already consumed from the router's send stash. The victims stay failed
 // afterward (Rejoin brings them back at a later boundary or splice).
 func (rt *Runtime) RunIterationFailure(victims []schedule.Worker, cutSlot int64) (float64, error) {
-	return rt.runSplicedIteration(cutSlot, victims, nil)
+	loss, err := rt.runSplicedIteration(cutSlot, victims, nil)
+	if err != nil {
+		// Ship the black box with the failure: when a flight recorder is
+		// attached (dtrain.Chaos always attaches one), its retained records
+		// are the forensic timeline of the crash.
+		if fl := obs.FindFlight(rt.rec); fl != nil {
+			err = fmt.Errorf("%w\n%s", err, fl.Dump())
+		}
+	}
+	return loss, err
 }
 
 // runSplicedIteration executes one training iteration around a
@@ -374,9 +425,14 @@ func (rt *Runtime) runSplicedIteration(cutSlot int64, fail, rejoin []schedule.Wo
 		return 0, err
 	}
 	cutEx, spl := lv.CutExec, lv.Spliced
+	if rt.rec.Enabled() {
+		rt.rec.BeginProgram(fmt.Sprintf("iter%d/pre-splice", rt.iter), prog)
+		rt.rec.Event(obs.Event{Kind: obs.EvIterStart, At: 0, Iter: rt.iter, Wall: time.Now()})
+	}
 	rt.publishSplice(cutSlot, fail, rejoin, spl.Program)
 
 	r := newRouter()
+	r.rec = rt.rec
 	rt.losses = make(map[nn.MBKey]float64)
 	rt.stepped = make(map[schedule.Worker]int)
 	preds := make(map[schedule.Worker]map[nn.MBKey]*tensor.Matrix)
@@ -417,6 +473,25 @@ func (rt *Runtime) runSplicedIteration(cutSlot int64, fail, rejoin []schedule.Wo
 		return rt.finish(prog, board1, r, valErrs)
 	}
 
+	if rt.rec.Enabled() {
+		// The membership event lands at the cut: kills and rejoins first,
+		// then the splice record with the re-plan's structural counters.
+		now := time.Now()
+		for _, w := range fail {
+			rt.rec.Event(obs.Event{Kind: obs.EvKill, At: cutSlot, Iter: rt.iter, Wall: now, Worker: w, HasWorker: true})
+		}
+		for _, w := range rejoin {
+			rt.rec.Event(obs.Event{Kind: obs.EvRejoin, At: cutSlot, Iter: rt.iter, Wall: now, Worker: w, HasWorker: true})
+		}
+		rt.rec.Event(obs.Event{Kind: obs.EvSplice, At: cutSlot, Iter: rt.iter, Wall: now,
+			Detail: rt.lastSpliceEvent,
+			Attrs: []obs.Attr{
+				{Key: "replanned", Val: int64(spl.SuffixOps)},
+				{Key: "rerouted", Val: int64(spl.ReroutedOps)},
+				{Key: "migrated", Val: int64(spl.MigratedTriples)},
+				{Key: "lost-slots", Val: spl.LostSlots},
+			}})
+	}
 	// The event lands now. Victims die with their materialized state —
 	// activation stashes and weight-gradient stores on their stage objects
 	// are unreachable; only their router-stashed sends survive, because
@@ -453,9 +528,20 @@ func (rt *Runtime) runSplicedIteration(cutSlot int64, fail, rejoin []schedule.Wo
 
 	// Phase 2: the spliced Program's re-planned suffix, its dep board
 	// seeded with the prefix spans so cross-event edges resolve.
+	if rt.rec.Enabled() {
+		rt.rec.BeginProgram(fmt.Sprintf("iter%d/post-splice", rt.iter), spl.Program)
+	}
 	board2 := newDepBoard(len(spl.Program.Instrs))
 	for id, end := range spl.Done {
 		board2.post(id, end-spl.Program.DurOf(id), end)
+		if rt.rec.Enabled() {
+			// Frozen prefix spans make the post-splice segment tile the full
+			// iteration makespan on its own (the CriticalPath invariant).
+			ins := spl.Program.Instrs[id]
+			rt.rec.Span(obs.Span{Instr: id, Op: ins.Op, Deps: ins.Deps,
+				Sched: end - spl.Program.DurOf(id), Start: end - spl.Program.DurOf(id), End: end,
+				Modeled: spl.Program.DurOf(id), Frozen: true})
+		}
 	}
 	for _, wk := range spl.Program.Workers() {
 		ids := spl.Program.Streams[wk]
@@ -560,7 +646,12 @@ func (rt *Runtime) exec(w schedule.Worker, prog *schedule.Program, board *depBoa
 func (rt *Runtime) execOps(w schedule.Worker, prog *schedule.Program, board *depBoard, r *router, stream []int, clock int64, preds map[nn.MBKey]*tensor.Matrix) error {
 	st := rt.stages[w]
 	last := w.Stage == rt.Cfg.PP-1
+	// opWall accumulates the measured compute time of the instruction in
+	// flight (reset each loop turn) — a span's Actual, the divergence
+	// signal against the modeled duration.
+	var opWall time.Duration
 	record := func(t schedule.OpType, d time.Duration) {
+		opWall += d
 		rt.mu.Lock()
 		rt.opSeconds[t] += d
 		rt.opCounts[t]++
@@ -586,9 +677,11 @@ func (rt *Runtime) execOps(w schedule.Worker, prog *schedule.Program, board *dep
 		ins := prog.Instrs[id]
 		op := ins.Op
 		key := nn.MBKey{Pipeline: op.Home, MB: op.MB}
+		opWall = 0
 		start := clock
-		if ready := board.wait(prog, ins.Deps); ready > start {
-			start = ready
+		sched := board.wait(prog, ins.Deps)
+		if sched > start {
+			start = sched
 		}
 		end := start + prog.DurOf(id)
 		switch op.Type {
@@ -665,6 +758,11 @@ func (rt *Runtime) execOps(w schedule.Worker, prog *schedule.Program, board *dep
 		}
 		board.post(id, start, end)
 		clock = end
+		if rt.rec.Enabled() {
+			rt.rec.Span(obs.Span{Instr: id, Op: op, Deps: ins.Deps,
+				Sched: sched, Start: start, End: end,
+				Modeled: prog.DurOf(id), Actual: opWall})
+		}
 	}
 	return nil
 }
@@ -769,6 +867,51 @@ func (rt *Runtime) AttachDetector(d *Detector) {
 	rt.mu.Lock()
 	rt.detector = d
 	rt.mu.Unlock()
+	if d != nil {
+		d.SetRecorder(rt.rec)
+	}
+}
+
+// AttachRecorder installs the tracing recorder every layer of this runtime
+// records into: the interpreter's per-instruction spans, the router's
+// re-send events, the detector's straggler flags and the plan service's
+// fetch/solve/warm lifecycle. Attach before the first RunIteration — the
+// field is read without locking by executor goroutines. Passing nil
+// restores the default no-op recorder.
+func (rt *Runtime) AttachRecorder(r obs.Recorder) {
+	if r == nil {
+		r = obs.Nop{}
+	}
+	rt.rec = r
+	rt.eng.SetRecorder(r)
+	rt.mu.Lock()
+	det := rt.detector
+	rt.mu.Unlock()
+	if det != nil {
+		det.SetRecorder(r)
+	}
+}
+
+// MetricsSnapshot folds the plan service's traffic counters, the runtime's
+// measured op counters and — when a Trace is attached — the trace's span
+// and event counters into one versioned registry snapshot, the unified
+// metrics exposition recycle-bench -metrics emits.
+func (rt *Runtime) MetricsSnapshot() obs.Snapshot {
+	reg := obs.NewRegistry()
+	m := rt.eng.Metrics()
+	_ = reg.PublishStruct("engine", &m)
+	rt.mu.Lock()
+	for t, n := range rt.opCounts {
+		reg.Set("runtime", "Ops"+t.String(), int64(n))
+		reg.Set("runtime", "OpMicros"+t.String(), rt.opSeconds[t].Microseconds())
+	}
+	rt.mu.Unlock()
+	reg.Set("runtime", "Iterations", int64(rt.iter))
+	reg.Set("runtime", "FailedWorkers", int64(len(rt.failed)))
+	if tr := obs.FindTrace(rt.rec); tr != nil {
+		reg.SetAll("trace", tr.Counters())
+	}
+	return reg.Snapshot()
 }
 
 // MarkStraggler retunes the plan service's cost model: the worker's ops are

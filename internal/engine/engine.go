@@ -9,6 +9,7 @@ import (
 
 	"recycle/internal/config"
 	"recycle/internal/core"
+	"recycle/internal/obs"
 	"recycle/internal/planstore"
 	"recycle/internal/profile"
 	"recycle/internal/schedule"
@@ -154,6 +155,10 @@ type Engine struct {
 
 	// recalThreshold is the Recalibrate no-op band (Options.RecalibrateThreshold).
 	recalThreshold float64
+
+	// rec holds the installed tracing recorder (a recBox; empty means
+	// tracing off). See SetRecorder / observe in observe.go.
+	rec atomic.Value
 
 	// fps memoizes job fingerprints per (techniques, unroll, costs) triple.
 	fps fpCache
@@ -661,6 +666,7 @@ func (e *Engine) getOrSolve(key, fp string, normalized bool, solve func() (*core
 	var err error
 	if p == nil {
 		e.solves.Add(1)
+		e.observe(obs.EvPlanSolve, key)
 		p, err = solve()
 		if err == nil {
 			switch p.SolveKind {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"recycle/internal/core"
+	"recycle/internal/obs"
 	"recycle/internal/schedule"
 )
 
@@ -30,6 +31,7 @@ func (e *Engine) ProgramConcrete(failed []schedule.Worker) (*schedule.Program, e
 // schedule for the concrete failure set (cache → store → Best(n) → solve,
 // exactly ScheduleFor) lowered into the Program both executors interpret.
 func (e *Engine) ProgramFor(failed map[schedule.Worker]bool) (*schedule.Program, error) {
+	e.observe(obs.EvPlanFetch, "", obs.Attr{Key: "failed", Val: int64(len(failed))})
 	s, err := e.ScheduleFor(failed)
 	if err != nil {
 		return nil, err
@@ -47,6 +49,7 @@ func (e *Engine) PublishSplicedProgram(event string, p *schedule.Program) error 
 	if err != nil {
 		return err
 	}
+	e.observe(obs.EvPublish, event)
 	return e.store.Put(spliceKey(e.config().fp, event), data)
 }
 

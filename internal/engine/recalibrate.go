@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"recycle/internal/obs"
 	"recycle/internal/profile"
 	"recycle/internal/schedule"
 )
@@ -161,6 +162,10 @@ func (e *Engine) Recalibrate(measured map[schedule.Worker]time.Duration) (Recali
 		return rec, firstErr
 	}
 	rec.Replanned = counts
+	e.observe(obs.EvRecalibrate, "",
+		obs.Attr{Key: "adjusted", Val: int64(len(rec.Applied))},
+		obs.Attr{Key: "replanned", Val: int64(len(rec.Replanned))},
+		obs.Attr{Key: "maxdrift-pct", Val: int64(rec.MaxDrift * 100)})
 	return rec, nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"recycle/internal/obs"
 )
 
 // Warmer tracks one background warming pass: the prioritized pool that
@@ -54,6 +56,7 @@ func (e *Engine) Warm(maxFailures int) *Warmer {
 					w.fail(fmt.Errorf("engine: warming %d failures: %w", n, err))
 				} else {
 					e.warmedPlans.Add(1)
+					e.observe(obs.EvWarm, "", obs.Attr{Key: "failures", Val: int64(n)})
 				}
 				w.done.Add(1)
 			}

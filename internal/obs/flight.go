@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"recycle/internal/schedule"
+)
+
+// FlightRecorder is the chaos harness's black box: a bounded ring of the
+// most recent records (segment opens, spans, lifecycle events), rendered
+// to text at record time so a post-mortem dump needs no live state. When
+// the ring is full the oldest records fall out; Dropped counts them.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	ring    []string
+	next    int
+	full    bool
+	dropped int
+}
+
+// DefaultFlightCap is the ring size used when none is given — enough for
+// several workers' worth of one iteration plus its lifecycle events.
+const DefaultFlightCap = 256
+
+// NewFlightRecorder returns a flight recorder holding the last n records
+// (DefaultFlightCap if n <= 0).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightCap
+	}
+	return &FlightRecorder{ring: make([]string, n)}
+}
+
+func (f *FlightRecorder) record(line string) {
+	f.mu.Lock()
+	if f.full {
+		f.dropped++
+	}
+	f.ring[f.next] = line
+	f.next++
+	if f.next == len(f.ring) {
+		f.next, f.full = 0, true
+	}
+	f.mu.Unlock()
+}
+
+// Enabled implements Recorder.
+func (f *FlightRecorder) Enabled() bool { return f != nil }
+
+// BeginProgram implements Recorder.
+func (f *FlightRecorder) BeginProgram(label string, p *schedule.Program) {
+	n := 0
+	if p != nil {
+		n = len(p.Instrs)
+	}
+	f.record(fmt.Sprintf("begin %s (%d instrs)", label, n))
+}
+
+// Span implements Recorder: the span renders to one forensic line at
+// record time.
+func (f *FlightRecorder) Span(s Span) {
+	frozen := ""
+	if s.Frozen {
+		frozen = " frozen"
+	}
+	f.record(fmt.Sprintf("span  #%-4d %-22s [%d,%d) sched=%d%s", s.Instr, s.Op, s.Start, s.End, s.Sched, frozen))
+}
+
+// Event implements Recorder; the line format is shared with FormatEvents.
+func (f *FlightRecorder) Event(e Event) {
+	f.record("event " + FormatEvent(e))
+}
+
+// Records returns the retained records, oldest first.
+func (f *FlightRecorder) Records() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	if f.full {
+		out = append(out, f.ring[f.next:]...)
+	}
+	out = append(out, f.ring[:f.next]...)
+	return out
+}
+
+// Dropped returns how many records fell out of the ring.
+func (f *FlightRecorder) Dropped() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// Dump renders the black box for a failure report: the retained records in
+// order, with a header noting how many older records were lost.
+func (f *FlightRecorder) Dump() string {
+	recs := f.Records()
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight recorder: last %d records (%d older dropped)\n", len(recs), f.Dropped())
+	for _, r := range recs {
+		b.WriteString("  ")
+		b.WriteString(r)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -7,6 +7,7 @@ import (
 
 	"recycle/internal/engine"
 	"recycle/internal/failure"
+	"recycle/internal/obs"
 	"recycle/internal/schedule"
 	"recycle/internal/sim"
 )
@@ -24,6 +25,11 @@ type Options struct {
 	// state is restored point-to-point from a live peer, §3.4); only the
 	// joining worker is floored by it, so live peers keep computing.
 	RejoinDelay time.Duration
+	// Recorder, when enabled, receives every distinct Program execution the
+	// replay simulates (steady-state windows once each, cut executions per
+	// splice) plus one membership event per splice — the recorder-backed
+	// source of the -events log.
+	Recorder obs.Recorder
 }
 
 // MachineWorker maps a trace machine identity (flat index in [0, DP×PP))
@@ -168,16 +174,41 @@ func Replay(eng *engine.Engine, tr failure.Trace, opt Options) (*Result, error) 
 	}
 
 	execCache := make(map[*schedule.Program]*sim.Execution)
-	baseExec := func(p *schedule.Program) (*sim.Execution, error) {
+	baseExec := func(p *schedule.Program, label string) (*sim.Execution, error) {
 		if ex, ok := execCache[p]; ok {
 			return ex, nil
 		}
-		ex, err := sim.ExecuteProgram(p, sim.ProgramOptions{})
+		ex, err := sim.ExecuteProgram(p, sim.ProgramOptions{Recorder: opt.Recorder, TraceLabel: label})
 		if err != nil {
 			return nil, err
 		}
 		execCache[p] = ex
 		return ex, nil
+	}
+	// recordEvent mirrors each membership event into the recorder's
+	// lifecycle stream (the structured record -events renders).
+	recordEvent := func(ev Event) {
+		if opt.Recorder == nil || !opt.Recorder.Enabled() {
+			return
+		}
+		spliced := int64(0)
+		if ev.ResumedMidIteration {
+			spliced = 1
+		}
+		opt.Recorder.Event(obs.Event{
+			Kind: obs.EvMembership, At: -1, Iter: ev.Iteration,
+			Detail: fmt.Sprintf("%s at %s machines=%v workers=%v",
+				ev.Kind, ev.At.Round(time.Second), ev.Machines, ev.Workers),
+			Attrs: []obs.Attr{
+				{Key: "available", Val: int64(ev.Available)},
+				{Key: "replanned", Val: int64(ev.ReplannedOps)},
+				{Key: "rerouted", Val: int64(ev.ReroutedOps)},
+				{Key: "migrated", Val: int64(ev.MigratedTriples)},
+				{Key: "lost-slots", Val: ev.LostSlots},
+				{Key: "stall-ms", Val: int64(ev.StallSeconds * 1000)},
+				{Key: "spliced", Val: spliced},
+			},
+		})
 	}
 
 	now := 0.0
@@ -214,13 +245,14 @@ func Replay(eng *engine.Engine, tr failure.Trace, opt Options) (*Result, error) 
 				now += ev.StallSeconds
 			}
 			res.Events = append(res.Events, ev)
+			recordEvent(ev)
 			wi++
 		}
 		prog, err := eng.ProgramFor(failed)
 		if err != nil {
 			return nil, err
 		}
-		base, err := baseExec(prog)
+		base, err := baseExec(prog, fmt.Sprintf("replay/window%d", wi))
 		if err != nil {
 			return nil, err
 		}
@@ -270,7 +302,11 @@ func Replay(eng *engine.Engine, tr failure.Trace, opt Options) (*Result, error) 
 			if err != nil {
 				return nil, err
 			}
-			cutOpts := sim.ProgramOptions{CutAt: cut, Done: done, ReleaseAt: floors}
+			cutOpts := sim.ProgramOptions{
+				CutAt: cut, Done: done, ReleaseAt: floors,
+				Recorder:   opt.Recorder,
+				TraceLabel: fmt.Sprintf("replay/iter%d/cut@%d", res.Iterations, cut),
+			}
 			if len(dying) > 0 {
 				cutOpts.FailAt = make(map[schedule.Worker]int64, len(dying))
 				for _, w := range dying {
@@ -320,6 +356,7 @@ func Replay(eng *engine.Engine, tr failure.Trace, opt Options) (*Result, error) 
 			ev.StallSeconds = math.Max(0, float64(spl.EndSlot-expectEnd)*unit)
 			expectEnd = spl.EndSlot
 			res.Events = append(res.Events, ev)
+			recordEvent(ev)
 			res.StallSeconds += ev.StallSeconds
 			res.LostSlots += spl.LostSlots
 			res.MigratedTriples += spl.MigratedTriples

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"recycle/internal/obs"
 	"recycle/internal/schedule"
 )
 
@@ -48,6 +49,12 @@ type ProgramOptions struct {
 	// absent from the map are released as soon as their stream and
 	// dependencies allow.
 	ReleaseAt map[schedule.Worker]int64
+	// Recorder, when enabled, receives one span per executed instruction
+	// (frozen spans for the Done prefix) and the cut/kill lifecycle events
+	// of this execution. TraceLabel names the opened segment ("sim" when
+	// empty). A nil or disabled recorder costs nothing.
+	Recorder   obs.Recorder
+	TraceLabel string
 }
 
 // Execution is the outcome of executing one Program in virtual time.
@@ -104,6 +111,15 @@ func ExecuteProgram(p *schedule.Program, opt ProgramOptions) (*Execution, error)
 		return d
 	}
 
+	tracing := opt.Recorder != nil && opt.Recorder.Enabled()
+	if tracing {
+		label := opt.TraceLabel
+		if label == "" {
+			label = "sim"
+		}
+		opt.Recorder.BeginProgram(label, p)
+	}
+
 	workers := p.Workers()
 	n := len(p.Instrs)
 	ex := &Execution{Program: p, Start: make([]int64, n), End: make([]int64, n)}
@@ -128,6 +144,13 @@ func ExecuteProgram(p *schedule.Program, opt ProgramOptions) (*Execution, error)
 		w := p.Instrs[id].Op.Worker()
 		if end > free[w] {
 			free[w] = end
+		}
+		if tracing {
+			opt.Recorder.Span(obs.Span{
+				Instr: id, Op: p.Instrs[id].Op, Deps: p.Instrs[id].Deps,
+				Sched: ex.Start[id], Start: ex.Start[id], End: end,
+				Modeled: p.DurOf(id), Frozen: true,
+			})
 		}
 	}
 	for _, w := range workers {
@@ -195,6 +218,12 @@ func ExecuteProgram(p *schedule.Program, opt ProgramOptions) (*Execution, error)
 					// The op would still be in flight when the worker dies:
 					// it and everything after it on this worker is lost.
 					dead[w] = true
+					if tracing {
+						opt.Recorder.Event(obs.Event{
+							Kind: obs.EvKill, At: failAt, Iter: ins.Op.Iter,
+							Worker: w, HasWorker: true,
+						})
+					}
 					break
 				}
 				ex.Start[id], ex.End[id] = start, end
@@ -205,6 +234,13 @@ func ExecuteProgram(p *schedule.Program, opt ProgramOptions) (*Execution, error)
 				pos[w]++
 				ex.Completed++
 				progressed = true
+				if tracing {
+					opt.Recorder.Span(obs.Span{
+						Instr: id, Op: ins.Op, Deps: ins.Deps,
+						Sched: ready, Start: start, End: end,
+						Modeled: p.DurOf(id),
+					})
+				}
 			}
 		}
 		if !progressed {
@@ -225,6 +261,16 @@ func ExecuteProgram(p *schedule.Program, opt ProgramOptions) (*Execution, error)
 	}
 	sort.Ints(ex.Lost)
 	sort.Ints(ex.Blocked)
+	if tracing && opt.CutAt > 0 {
+		opt.Recorder.Event(obs.Event{
+			Kind: obs.EvCut, At: opt.CutAt, Iter: -1,
+			Attrs: []obs.Attr{
+				{Key: "completed", Val: int64(ex.Completed)},
+				{Key: "lost", Val: int64(len(ex.Lost))},
+				{Key: "blocked", Val: int64(len(ex.Blocked))},
+			},
+		})
+	}
 	if len(opt.FailAt) == 0 && opt.CutAt <= 0 && ex.Completed != n {
 		return ex, fmt.Errorf("sim: program deadlocked with %d of %d instructions unexecuted", n-ex.Completed, n)
 	}

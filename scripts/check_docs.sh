@@ -78,6 +78,26 @@ if ! grep -q 'chaos-smoke' .github/workflows/ci.yml; then
   fail=1
 fi
 
+# 4b. The observability surface must stay documented: ARCHITECTURE.md
+#     keeps its Observability section describing internal/obs and the
+#     flight recorder, and the CI trace-smoke job exists.
+if ! grep -qE '^#+ .*[Oo]bservability' ARCHITECTURE.md; then
+  echo "ARCHITECTURE.md lost its Observability section"
+  fail=1
+fi
+if ! grep -q 'internal/obs' ARCHITECTURE.md; then
+  echo "ARCHITECTURE.md does not describe internal/obs"
+  fail=1
+fi
+if ! grep -q 'flight recorder' ARCHITECTURE.md; then
+  echo "ARCHITECTURE.md does not describe the flight recorder"
+  fail=1
+fi
+if ! grep -q 'trace-smoke' .github/workflows/ci.yml; then
+  echo "ci.yml lost the trace-smoke job"
+  fail=1
+fi
+
 # 5. The README must link the architecture and evaluation documents, and
 #    ARCHITECTURE must link the evaluation map.
 if ! grep -q 'ARCHITECTURE.md' README.md; then

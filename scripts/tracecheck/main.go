@@ -1,0 +1,139 @@
+// Command tracecheck is the CI gate for the -trace exporters: it reads a
+// Chrome trace-event JSON file (the output of `recycle-train -trace` or
+// `recycle-sim -trace`) and validates that it is a well-formed trace the
+// viewers will load — complete events carry sane spans, no two slices
+// overlap on one track, every flow arrow has a matched start/finish pair,
+// and the per-span args preserve the instruction identity the exporters
+// stamp. With -metrics-stdin it instead reads a unified registry snapshot
+// (`recycle-bench -metrics`) on stdin and validates the versioned shape.
+//
+//	go run ./cmd/recycle-train -chaos -trace /tmp/trace.json
+//	go run ./scripts/tracecheck /tmp/trace.json
+//	go run ./cmd/recycle-bench -metrics | go run ./scripts/tracecheck -metrics-stdin
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"recycle/internal/obs"
+)
+
+func main() {
+	if len(os.Args) == 2 && os.Args[1] == "-metrics-stdin" {
+		checkMetrics(os.Stdin)
+		return
+	}
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json> | tracecheck -metrics-stdin")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	check(err)
+	var tr obs.ChromeTrace
+	check(json.Unmarshal(data, &tr))
+	if len(tr.TraceEvents) == 0 {
+		fail("trace has no events")
+	}
+
+	type slice struct{ from, to int64 }
+	byTrack := make(map[int][]slice)
+	flows := make(map[int][2]int) // id -> {starts, finishes}
+	var spans, segments, lifecycle int
+	for i, ev := range tr.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			spans++
+			if ev.Dur < 0 || ev.TS < 0 {
+				fail("event %d (%s): negative span ts=%d dur=%d", i, ev.Name, ev.TS, ev.Dur)
+			}
+			if ev.TID == 0 {
+				fail("event %d (%s): complete event on the global track", i, ev.Name)
+			}
+			if _, ok := ev.Args["instr"]; !ok {
+				fail("event %d (%s): span lost its instruction identity", i, ev.Name)
+			}
+			if _, ok := ev.Args["segment"]; !ok {
+				fail("event %d (%s): span lost its segment label", i, ev.Name)
+			}
+			byTrack[ev.TID] = append(byTrack[ev.TID], slice{ev.TS, ev.TS + ev.Dur})
+		case "s":
+			c := flows[ev.ID]
+			c[0]++
+			flows[ev.ID] = c
+		case "f":
+			c := flows[ev.ID]
+			c[1]++
+			flows[ev.ID] = c
+		case "i":
+			if ev.Cat == "segment" {
+				segments++
+			} else {
+				lifecycle++
+			}
+		case "M":
+		default:
+			fail("event %d (%s): unknown phase %q", i, ev.Name, ev.Phase)
+		}
+	}
+	if spans == 0 {
+		fail("trace has no complete events")
+	}
+	if segments == 0 {
+		fail("trace has no segment markers")
+	}
+	for id, c := range flows {
+		if c[0] != 1 || c[1] != 1 {
+			fail("flow %d has %d starts and %d finishes, want exactly one of each", id, c[0], c[1])
+		}
+	}
+	// One worker executes one instruction at a time: slices on a track
+	// must not overlap.
+	for tid, ss := range byTrack {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].from < ss[j].from })
+		for i := 1; i < len(ss); i++ {
+			if ss[i].from < ss[i-1].to {
+				fail("track %d: slice [%d,%d) overlaps [%d,%d)", tid, ss[i].from, ss[i].to, ss[i-1].from, ss[i-1].to)
+			}
+		}
+	}
+	fmt.Printf("tracecheck: %d spans on %d tracks, %d segments, %d flow pairs, %d lifecycle instants — OK\n",
+		spans, len(byTrack), segments, len(flows), lifecycle)
+}
+
+// checkMetrics validates a unified registry snapshot: the wire version
+// must match, and the engine, runtime, and per-phase trace groups the
+// -metrics exercise produces must all be present and non-empty.
+func checkMetrics(r io.Reader) {
+	data, err := io.ReadAll(r)
+	check(err)
+	var snap obs.Snapshot
+	check(json.Unmarshal(data, &snap))
+	if snap.Version != obs.SnapshotVersion {
+		fail("snapshot version %d, want %d", snap.Version, obs.SnapshotVersion)
+	}
+	for _, g := range []string{"engine", "runtime", "trace"} {
+		if len(snap.Groups[g]) == 0 {
+			fail("snapshot group %q is missing or empty", g)
+		}
+	}
+	if snap.Groups["trace"]["spans"] == 0 {
+		fail("trace group recorded no spans")
+	}
+	fmt.Printf("tracecheck: metrics snapshot v%d with %d groups — OK\n", snap.Version, len(snap.Groups))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
