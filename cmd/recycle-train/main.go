@@ -28,7 +28,8 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the seeded chaos harness: kill workers mid-iteration at a random instruction index and compare losses bitwise")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos rng seed (victim choice and kill instant)")
 	chaosVictims := flag.Int("chaos-victims", 1, "workers killed at the chaos kill instant")
-	chaosPoint := flag.String("chaos-point", "ops", "chaos kill point: send, ops or allreduce")
+	chaosPoint := flag.String("chaos-point", "ops", "chaos kill point: send, ops, allreduce or epilogue")
+	chaosCascade := flag.Int("chaos-cascade", 1, "chained chaos kill events in the kill iteration (later kills land while the previous splice's suffix is executing)")
 	tracePath := flag.String("trace", "", "record every executed instruction on the adapted (or chaos) runtime and write a Chrome/Perfetto trace to this file (critical path audited first)")
 	flag.Parse()
 
@@ -38,7 +39,7 @@ func main() {
 		Seed: 42, LR: 5e-3,
 	}
 	if *chaos {
-		runChaos(cfg, *iters, *chaosSeed, *chaosVictims, *chaosPoint, *tracePath)
+		runChaos(cfg, *iters, *chaosSeed, *chaosVictims, *chaosPoint, *chaosCascade, *tracePath)
 		return
 	}
 	victim := schedule.Worker{Stage: *pp - 2, Pipeline: 1}
@@ -128,9 +129,9 @@ func exportTrace(rec *obs.Trace, path string) error {
 }
 
 // runChaos drives the fault-injection harness: a seeded mid-iteration kill
-// in the middle of the run, victims restored at the next boundary, every
-// iteration's loss compared bitwise against a fault-free reference.
-func runChaos(cfg dtrain.Config, iters int, seed int64, victims int, pointName, tracePath string) {
+// cascade in the middle of the run, victims restored at the next boundary,
+// every iteration's loss compared bitwise against a fault-free reference.
+func runChaos(cfg dtrain.Config, iters int, seed int64, victims int, pointName string, cascade int, tracePath string) {
 	point, err := dtrain.ParseKillPoint(pointName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -138,15 +139,15 @@ func runChaos(cfg dtrain.Config, iters int, seed int64, victims int, pointName, 
 	}
 	opt := dtrain.ChaosOptions{
 		Seed: seed, Iterations: iters, KillIter: iters / 2,
-		Victims: victims, Point: point,
+		Victims: victims, Point: point, Cascade: cascade,
 	}
 	var rec *obs.Trace
 	if tracePath != "" {
 		rec = obs.NewTrace()
 		opt.Recorder = rec
 	}
-	fmt.Printf("chaos run: DP=%d PP=%d MB=%d; %d victim(s) killed mid-iteration %d at a random %q point (seed %d)\n\n",
-		cfg.DP, cfg.PP, cfg.MB, victims, opt.KillIter, point, seed)
+	fmt.Printf("chaos run: DP=%d PP=%d MB=%d; depth-%d cascade, %d victim(s) per kill, mid-iteration %d at random %q points (seed %d)\n\n",
+		cfg.DP, cfg.PP, cfg.MB, cascade, victims, opt.KillIter, point, seed)
 	res, err := dtrain.Chaos(cfg, opt)
 	if err != nil {
 		// The chaos result carries the flight recorder even on failure —
@@ -157,7 +158,11 @@ func runChaos(cfg dtrain.Config, iters int, seed int64, victims int, pointName, 
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("killed %v at slot %d (splice event %s)\n\n", res.Victims, res.Cut, res.Event)
+	for i, k := range res.Kills {
+		fmt.Printf("kill %d/%d: %v at slot %d, %q point (splice event %s)\n",
+			i+1, len(res.Kills), k.Victims, k.Cut, k.Point, k.Event)
+	}
+	fmt.Println()
 	fmt.Printf("%5s %22s %22s %s\n", "iter", "fault-free loss", "chaos loss", "")
 	equal := true
 	for i := range res.Losses {

@@ -3,15 +3,17 @@ package dtrain
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"recycle/internal/obs"
+	"recycle/internal/replay"
 	"recycle/internal/schedule"
 	"recycle/internal/sim"
 )
 
 // KillPoint classifies where in a victim's instruction stream a chaos kill
-// lands. All three land mid-iteration; they differ in what in-flight state
-// the re-send protocol must recover.
+// lands. All of them land mid-iteration; they differ in what in-flight
+// state the re-send protocol must recover.
 type KillPoint int
 
 const (
@@ -22,10 +24,15 @@ const (
 	// KillBetweenOps kills a victim at the boundary after one of its
 	// compute instructions, chosen uniformly.
 	KillBetweenOps
-	// KillDuringAllReduce kills a victim at the brink of the gradient
+	// KillDuringAllReduce kills a victim at the brink of a gradient
 	// all-reduce: every compute instruction that can complete by then has,
-	// and the optimizer rendezvous is about to begin.
+	// and an optimizer rendezvous is about to begin.
 	KillDuringAllReduce
+	// KillInEpilogue kills a victim inside the all-reduce epilogue: at
+	// least one stage's optimizer step has fully completed — durable on
+	// every live peer, idempotent under the step-epoch stamp — while other
+	// work is still in flight.
+	KillInEpilogue
 )
 
 // String renders the kill point as its CLI spelling.
@@ -37,6 +44,8 @@ func (p KillPoint) String() string {
 		return "ops"
 	case KillDuringAllReduce:
 		return "allreduce"
+	case KillInEpilogue:
+		return "epilogue"
 	}
 	return fmt.Sprintf("KillPoint(%d)", int(p))
 }
@@ -50,25 +59,35 @@ func ParseKillPoint(s string) (KillPoint, error) {
 		return KillBetweenOps, nil
 	case "allreduce":
 		return KillDuringAllReduce, nil
+	case "epilogue":
+		return KillInEpilogue, nil
 	}
-	return 0, fmt.Errorf("dtrain: unknown kill point %q (want send, ops or allreduce)", s)
+	return 0, fmt.Errorf("dtrain: unknown kill point %q (want send, ops, allreduce or epilogue)", s)
 }
 
 // ChaosOptions seeds one reproducible fault-injection run.
 type ChaosOptions struct {
-	// Seed drives every random choice (victims, kill instant). Two runs
+	// Seed drives every random choice (victims, kill instants). Two runs
 	// with the same Config and ChaosOptions are identical.
 	Seed int64
 	// Iterations is the total training iterations to run (> KillIter).
 	Iterations int
-	// KillIter is the iteration during which the kill lands.
+	// KillIter is the iteration during which the kills land.
 	KillIter int
-	// Victims is how many workers die at the kill instant (>= 1). Victims
-	// are drawn so every stage keeps at least one live worker.
+	// Victims is how many workers die at each kill instant (>= 1).
+	// Victims are drawn so every stage keeps at least one live worker
+	// across the whole cascade.
 	Victims int
-	// Point selects where in the victims' instruction streams the kill
-	// lands.
+	// Point selects where in the victims' instruction streams the kills
+	// land (every event of a cascade, unless Points overrides).
 	Point KillPoint
+	// Cascade is the number of chained kill events inside the kill
+	// iteration: the second (and Nth) kill lands while the previous
+	// splice's suffix is still executing. 0 and 1 both mean a single kill.
+	Cascade int
+	// Points, when non-empty, selects a kill point per cascade event
+	// (len(Points) must equal the cascade depth).
+	Points []KillPoint
 	// Recorder, when enabled, receives the chaos run's full trace — spans,
 	// kills, splices, re-sends (the fault-free reference run is not
 	// traced). A flight-recorder ring is always attached alongside it.
@@ -78,11 +97,26 @@ type ChaosOptions struct {
 	FlightCap int
 }
 
+// ChaosKill reports one kill event of a chaos cascade.
+type ChaosKill struct {
+	// Victims are the workers killed at this event, Cut the logical slot
+	// the kill landed on, Point the kill-point class it was drawn from,
+	// and Event the splice event ID the re-spliced Program was published
+	// under.
+	Victims []schedule.Worker
+	Cut     int64
+	Point   KillPoint
+	Event   string
+}
+
 // ChaosResult reports one chaos run against its fault-free reference.
 type ChaosResult struct {
-	// Victims are the workers killed mid-iteration, Cut the logical slot
-	// the kill landed on, Event the splice event ID the spliced Program
-	// was published under.
+	// Kills lists every mid-iteration kill event in cut order (one entry
+	// for a plain kill, Cascade entries for a cascade).
+	Kills []ChaosKill
+	// Victims are all workers killed mid-iteration across the cascade,
+	// Cut the first kill's logical slot, Event the first kill's splice
+	// event ID.
 	Victims []schedule.Worker
 	Cut     int64
 	Event   string
@@ -111,18 +145,27 @@ func (r *ChaosResult) BitwiseEqual() bool {
 }
 
 // Chaos runs a seeded fault-injection experiment: a training run in which
-// randomly chosen workers are killed mid-iteration at a randomized
-// instruction boundary, side by side with an identical fault-free run. The
-// kill exercises the full live failure path — stash-and-replay re-sends,
-// LiveSplice, effect discard, suffix re-execution — and the victims are
-// restored from live peers at the next iteration boundary, so the runs
-// must stay bitwise loss-equal throughout.
+// randomly chosen workers are killed mid-iteration at randomized
+// instruction boundaries — optionally as a cascade, with later kills
+// landing while an earlier splice's suffix is still executing — side by
+// side with an identical fault-free run. The kills exercise the full live
+// failure path — stash-and-replay re-sends, repeated LiveSplice, effect
+// discard, suffix re-execution, step-epoch idempotence in the all-reduce
+// epilogue — and the victims are restored from live peers at the next
+// iteration boundary, so the runs must stay bitwise loss-equal throughout.
 func Chaos(cfg Config, opt ChaosOptions) (*ChaosResult, error) {
 	if opt.Iterations <= opt.KillIter || opt.KillIter < 0 {
 		return nil, fmt.Errorf("dtrain: chaos needs 0 <= kill iteration %d < iterations %d", opt.KillIter, opt.Iterations)
 	}
 	if opt.Victims < 1 {
 		return nil, fmt.Errorf("dtrain: chaos needs at least one victim, got %d", opt.Victims)
+	}
+	cascade := opt.Cascade
+	if cascade < 1 {
+		cascade = 1
+	}
+	if len(opt.Points) > 0 && len(opt.Points) != cascade {
+		return nil, fmt.Errorf("dtrain: chaos got %d kill points for a depth-%d cascade", len(opt.Points), cascade)
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	rt, ref := New(cfg), New(cfg)
@@ -143,18 +186,27 @@ func Chaos(cfg Config, opt ChaosOptions) (*ChaosResult, error) {
 		var loss float64
 		var err error
 		if it == opt.KillIter {
-			victims, cut, pickErr := pickKill(rt, cfg, opt, rng)
+			kills, events, pickErr := pickCascade(rt, cfg, opt, cascade, rng)
 			if pickErr != nil {
 				return res, pickErr
 			}
-			res.Victims, res.Cut = victims, cut
-			loss, err = rt.RunIterationFailure(victims, cut)
-			res.Event = rt.LastSpliceEvent()
+			for _, k := range kills {
+				res.Victims = append(res.Victims, k.Victims...)
+			}
+			res.Cut = kills[0].Cut
+			loss, err = rt.RunIterationCascade(events)
+			for i, id := range rt.SpliceEvents() {
+				if i < len(kills) {
+					kills[i].Event = id
+				}
+			}
+			res.Kills = kills
+			res.Event = kills[0].Event
 		} else {
 			loss, err = rt.RunIteration()
 		}
 		if err != nil {
-			// RunIterationFailure already folds the flight dump into a
+			// RunIterationCascade already folds the flight dump into a
 			// mid-splice error; every other failure gets it here, so a
 			// chaos repro always carries its timeline.
 			return res, fmt.Errorf("dtrain: chaos iteration %d: %w", it, err)
@@ -169,26 +221,137 @@ func Chaos(cfg Config, opt ChaosOptions) (*ChaosResult, error) {
 	return res, nil
 }
 
-// pickKill draws the victim set and the kill instant for the current
-// Program, both from the seeded rng. Victims leave every stage at least
-// one live worker (the paper's survivability envelope; also what makes a
-// later boundary restore possible). The kill instant is clamped below the
-// first optimizer start: a kill landing after an optimizer step completed
-// is an iteration-boundary failure, not a mid-iteration one — the
-// all-reduce made the step durable everywhere except the victim, whose
-// replica is discarded at restore anyway.
-func pickKill(rt *Runtime, cfg Config, opt ChaosOptions, rng *rand.Rand) ([]schedule.Worker, int64, error) {
+// pickCascade draws the victim sets and kill instants for a whole cascade
+// against the current Program, advancing a planning-only splice chain so
+// each later kill is drawn from the timeline the previous splice actually
+// produces. RunIterationCascade re-derives the identical chain — both
+// sides run the same deterministic LiveSplice.
+func pickCascade(rt *Runtime, cfg Config, opt ChaosOptions, cascade int, rng *rand.Rand) ([]ChaosKill, []CascadeEvent, error) {
+	prog, err := rt.Program()
+	if err != nil {
+		return nil, nil, err
+	}
+	var costs schedule.CostFunc
+	if cm := rt.eng.CostModel(); cm != nil {
+		costs = cm.Fn()
+	}
+	failed := make(map[schedule.Worker]bool, len(rt.failed))
+	for w := range rt.failed {
+		failed[w] = true
+	}
+
+	cur := prog
+	var done map[int]int64
+	var floors map[schedule.Worker]int64
+	var prevCut int64
+	var kills []ChaosKill
+	var events []CascadeEvent
+	for ei := 0; ei < cascade; ei++ {
+		point := opt.Point
+		if len(opt.Points) > 0 {
+			point = opt.Points[ei]
+		}
+		victims, err := drawVictims(rng, cfg, opt.Victims, failed)
+		if err != nil {
+			if ei > 0 {
+				break // survivability envelope exhausted: stop the cascade
+			}
+			return nil, nil, err
+		}
+		full, err := sim.ExecuteProgram(cur, sim.ProgramOptions{Done: done, ReleaseAt: floors})
+		if err != nil {
+			return nil, nil, err
+		}
+		pick := func(chain bool) (KillPoint, []int64) {
+			seen := make(map[KillPoint]bool)
+			for _, pt := range []KillPoint{point, KillBetweenOps, KillAtSend, KillDuringAllReduce, KillInEpilogue} {
+				if seen[pt] {
+					continue
+				}
+				seen[pt] = true
+				if c := killCandidates(cur, full, victims, pt, prevCut, chain, cfg.PP); len(c) > 0 {
+					return pt, c
+				}
+			}
+			return point, nil
+		}
+		chain := ei < cascade-1 // a later kill still has to land after this one
+		var cands []int64
+		truncate := false
+		if ei == 0 {
+			// The first kill is strict about the class — the requested
+			// point or an error, so a seeded run always lands where the
+			// caller asked — but degrades the cascade depth when the shape
+			// leaves no chainable instant of that class.
+			cands = killCandidates(cur, full, victims, point, prevCut, chain, cfg.PP)
+			if len(cands) == 0 && chain {
+				cands = killCandidates(cur, full, victims, point, prevCut, false, cfg.PP)
+				truncate = len(cands) > 0
+			}
+			if len(cands) == 0 {
+				return nil, nil, fmt.Errorf("dtrain: no %s kill candidate after slot %d on victims %v", point, prevCut, victims)
+			}
+		} else {
+			// Later cascade events land on whatever timeline the previous
+			// splice left: the requested class can be exhausted (e.g. no
+			// straddle-free epilogue instant remains before the iteration
+			// drains). Fall back to another class, then to a terminal kill
+			// that ends the cascade early, rather than abandoning the run;
+			// the recorded ChaosKill keeps the actual point.
+			point, cands = pick(chain)
+			if len(cands) == 0 && chain {
+				point, cands = pick(false)
+				truncate = len(cands) > 0
+			}
+			if len(cands) == 0 {
+				break // the iteration drained: stop the cascade at depth ei
+			}
+		}
+		cut := cands[rng.Intn(len(cands))]
+
+		kills = append(kills, ChaosKill{Victims: victims, Cut: cut, Point: point})
+		events = append(events, CascadeEvent{Cut: cut, Fail: victims})
+		for _, v := range victims {
+			failed[v] = true
+		}
+		if ei == cascade-1 || truncate {
+			break // no need to advance the planning chain past the last kill
+		}
+		lv, err := replay.LiveSplice(replay.LiveEvent{
+			Prog: cur, Cut: cut, Fail: victims, Costs: costs,
+			Release: floors, Done: done,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("dtrain: planning cascade kill %d: %w", ei+1, err)
+		}
+		cur, done, floors = lv.Program, lv.Done, lv.Floors
+		prevCut = cut
+	}
+	return kills, events, nil
+}
+
+// drawVictims draws n victims from the live pool, leaving every stage at
+// least one live worker against the cumulative failed set (the paper's
+// survivability envelope; also what makes a later boundary restore
+// possible).
+func drawVictims(rng *rand.Rand, cfg Config, n int, failed map[schedule.Worker]bool) ([]schedule.Worker, error) {
 	pool := make([]schedule.Worker, 0, cfg.DP*cfg.PP)
 	for k := 0; k < cfg.DP; k++ {
 		for s := 0; s < cfg.PP; s++ {
-			pool = append(pool, schedule.Worker{Stage: s, Pipeline: k})
+			w := schedule.Worker{Stage: s, Pipeline: k}
+			if !failed[w] {
+				pool = append(pool, w)
+			}
 		}
 	}
 	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
 	perStage := make([]int, cfg.PP)
+	for w := range failed {
+		perStage[w.Stage]++
+	}
 	var victims []schedule.Worker
 	for _, w := range pool {
-		if len(victims) == opt.Victims {
+		if len(victims) == n {
 			break
 		}
 		if perStage[w.Stage] == cfg.DP-1 {
@@ -197,59 +360,156 @@ func pickKill(rt *Runtime, cfg Config, opt ChaosOptions, rng *rand.Rand) ([]sche
 		victims = append(victims, w)
 		perStage[w.Stage]++
 	}
-	if len(victims) < opt.Victims {
-		return nil, 0, fmt.Errorf("dtrain: cannot pick %d victims from a %dx%d fleet with every stage kept live", opt.Victims, cfg.DP, cfg.PP)
+	if len(victims) < n {
+		return nil, fmt.Errorf("dtrain: cannot pick %d more victims from a %dx%d fleet with every stage kept live", n, cfg.DP, cfg.PP)
 	}
+	return victims, nil
+}
+
+// killCandidates enumerates the valid kill instants for one cascade event
+// of the given point class against the full (uncut) execution of the
+// in-flight program. Every candidate is strictly after the previous cut,
+// leaves at least one instruction unexecuted, and never splits a stage's
+// optimizer group across the event (the LiveSplice straddle guard). With
+// chain set (a later cascade event must land after this one), candidates
+// must also leave non-optimizer work pending, so the next event still has
+// an instruction boundary to land on.
+func killCandidates(p *schedule.Program, full *sim.Execution, victims []schedule.Worker, point KillPoint, prevCut int64, chain bool, pp int) []int64 {
 	victimSet := make(map[schedule.Worker]bool, len(victims))
 	for _, v := range victims {
 		victimSet[v] = true
 	}
+	// completed mirrors the cut-execution semantics at candidate instant
+	// c: an instruction completes iff it started before c — except on a
+	// victim, where in-flight work is killed at the cut, so it must also
+	// have ended by c.
+	completed := func(i int, c int64) bool {
+		if full.Start[i] < 0 || full.Start[i] >= c {
+			return false
+		}
+		if victimSet[p.Instrs[i].Op.Worker()] {
+			return full.End[i] <= c
+		}
+		return true
+	}
+	type group = [2]int // (iter, stage)
+	optOf := make(map[group][]int)
+	for i := range p.Instrs {
+		op := p.Instrs[i].Op
+		if op.Type == schedule.Optimizer {
+			optOf[group{op.Iter, op.Stage}] = append(optOf[group{op.Iter, op.Stage}], i)
+		}
+	}
+	// Groups already stepped at the previous cut (the frozen prefix of
+	// this cascade event) do not distinguish the classes: only a step that
+	// becomes durable within (prevCut, c] makes c an epilogue instant.
+	steppedAtPrev := make(map[group]bool)
+	for g, ids := range optOf {
+		n := 0
+		for _, i := range ids {
+			if completed(i, prevCut) {
+				n++
+			}
+		}
+		if n == len(ids) {
+			steppedAtPrev[g] = true
+		}
+	}
+	admissible := func(c int64) bool {
+		if c <= prevCut || c < 1 {
+			return false
+		}
+		anyPending, computePending, newStepped := false, false, false
+		for g, ids := range optOf {
+			n := 0
+			for _, i := range ids {
+				if completed(i, c) {
+					n++
+				}
+			}
+			if n > 0 && n < len(ids) {
+				return false // straddles this group's optimizer
+			}
+			if n == len(ids) && !steppedAtPrev[g] {
+				newStepped = true
+			}
+		}
+		for i := range p.Instrs {
+			if !completed(i, c) {
+				anyPending = true
+				if p.Instrs[i].Op.Type != schedule.Optimizer {
+					computePending = true
+					break
+				}
+			}
+		}
+		if !anyPending {
+			return false // nothing left to adapt — an iteration-boundary kill
+		}
+		if chain && !computePending {
+			// Only optimizer tails remain past c: the next cascade event
+			// would have no boundary left to land on.
+			return false
+		}
+		if point == KillInEpilogue && !newStepped {
+			return false // the epilogue starts at the first fresh durable step
+		}
+		if point != KillInEpilogue && newStepped {
+			// Keep the pre-epilogue classes pre-epilogue, so the matrix
+			// dimensions stay distinct.
+			return false
+		}
+		return true
+	}
 
-	prog, err := rt.Program()
-	if err != nil {
-		return nil, 0, err
-	}
-	ex, err := sim.ExecuteProgram(prog, sim.ProgramOptions{})
-	if err != nil {
-		return nil, 0, err
-	}
-	minOpt := int64(-1)
-	for i := range prog.Instrs {
-		if prog.Instrs[i].Op.Type != schedule.Optimizer {
-			continue
-		}
-		if minOpt < 0 || ex.Start[i] < minOpt {
-			minOpt = ex.Start[i]
-		}
-	}
-	var cut int64
-	switch opt.Point {
+	var cands []int64
+	switch point {
 	case KillDuringAllReduce:
-		cut = minOpt
+		// The brink of each stage's all-reduce: the earliest start among
+		// the group's optimizer instructions.
+		for _, ids := range optOf {
+			min := int64(-1)
+			for _, i := range ids {
+				if s := full.Start[i]; min < 0 || s < min {
+					min = s
+				}
+			}
+			if min >= 0 {
+				cands = append(cands, min)
+			}
+		}
+	case KillInEpilogue:
+		// Instants just past a completed step: any instruction boundary
+		// works, the admissibility filter keeps only those with at least
+		// one durable group.
+		for i := range p.Instrs {
+			if full.End[i] >= 0 {
+				cands = append(cands, full.End[i])
+			}
+		}
 	default:
-		var cands []int64
-		for i := range prog.Instrs {
-			op := prog.Instrs[i].Op
-			if !victimSet[op.Worker()] || op.Type == schedule.Optimizer {
+		// Boundaries of the victims' own compute instructions.
+		for i := range p.Instrs {
+			op := p.Instrs[i].Op
+			if !victimSet[op.Worker()] || op.Type == schedule.Optimizer || full.End[i] < 0 {
 				continue
 			}
-			if opt.Point == KillAtSend && !opSends(op, cfg.PP) {
+			if point == KillAtSend && !opSends(op, pp) {
 				continue
 			}
-			cands = append(cands, ex.End[i])
+			cands = append(cands, full.End[i])
 		}
-		if len(cands) == 0 {
-			return nil, 0, fmt.Errorf("dtrain: no %s kill candidate on victims %v", opt.Point, victims)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	out := cands[:0]
+	var last int64 = -1
+	for _, c := range cands {
+		if c != last && admissible(c) {
+			out = append(out, c)
+			last = c
 		}
-		cut = cands[rng.Intn(len(cands))]
 	}
-	if minOpt >= 0 && cut > minOpt {
-		cut = minOpt
-	}
-	if cut < 1 {
-		cut = 1
-	}
-	return victims, cut, nil
+	return out
 }
 
 // opSends reports whether an instruction's completion coincides with a

@@ -19,7 +19,7 @@ import (
 func TestChaosBitwiseLosses(t *testing.T) {
 	type shape struct{ pp, victims int }
 	shapes := []shape{{2, 1}, {2, 2}, {4, 1}, {4, 2}}
-	points := []KillPoint{KillAtSend, KillBetweenOps, KillDuringAllReduce}
+	points := []KillPoint{KillAtSend, KillBetweenOps, KillDuringAllReduce, KillInEpilogue}
 	seeds := []int64{1, 2, 3}
 	if testing.Short() {
 		shapes = []shape{{2, 1}, {4, 2}}
@@ -158,7 +158,7 @@ func TestChaosSplicedProgramServedToClients(t *testing.T) {
 
 // TestKillPointRoundTrip pins the CLI spelling of the kill points.
 func TestKillPointRoundTrip(t *testing.T) {
-	for _, pt := range []KillPoint{KillAtSend, KillBetweenOps, KillDuringAllReduce} {
+	for _, pt := range []KillPoint{KillAtSend, KillBetweenOps, KillDuringAllReduce, KillInEpilogue} {
 		got, err := ParseKillPoint(pt.String())
 		if err != nil {
 			t.Fatal(err)

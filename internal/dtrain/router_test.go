@@ -170,3 +170,48 @@ func TestRecvPrefersLiveChannelThenStash(t *testing.T) {
 		t.Fatal("acked payload was replayed after the iteration-boundary GC")
 	}
 }
+
+// TestChaosRouterStashSurvivesSecondLoss is the premature-GC regression
+// for cascading kills: when a second splice re-loses a suffix the first
+// splice already re-executed, the consumer comes back for the same payload
+// a second (and Nth) time. Nothing may acknowledge the stash mid-cascade —
+// the only ack point is the iteration-boundary GC after the final phase —
+// so every re-request before it must still replay, and a fresh send after
+// an ack must re-open the obligation.
+func TestChaosRouterStashSurvivesSecondLoss(t *testing.T) {
+	s := newSendStash()
+	k := msgKey{kind: msgAct, stage: 1, iter: 2, mb: nn.MBKey{Pipeline: 0, MB: 1}, peer: 1}
+	m := tensor.New(1, 1)
+	s.put(k, payload{mat: m})
+
+	// First splice: the re-executed consumer replays the payload.
+	if p, ok := s.replay(k); !ok || p.mat != m {
+		t.Fatal("first re-request did not replay the stashed payload")
+	}
+	// Second splice re-loses the same suffix before any boundary ack: the
+	// payload must replay again, bit-identical.
+	for n := 0; n < 3; n++ {
+		if p, ok := s.replay(k); !ok || p.mat != m {
+			t.Fatalf("re-request %d after a later splice missed: premature stash GC", n+2)
+		}
+	}
+	// Only the iteration-boundary GC — the cascade's single ack point —
+	// retires the obligation.
+	if got := s.ackIteration(k.iter); got != 1 {
+		t.Fatalf("boundary GC collected %d entries, want 1", got)
+	}
+	if _, ok := s.replay(k); ok {
+		t.Fatal("payload replayed after its iteration was acknowledged")
+	}
+	// A per-key ack also blocks replay, and a fresh send re-opens it: a
+	// re-planned producer's new send is a new obligation.
+	s.put(k, payload{mat: m})
+	s.ack(k)
+	if _, ok := s.replay(k); ok {
+		t.Fatal("acked payload replayed")
+	}
+	s.put(k, payload{mat: m})
+	if _, ok := s.replay(k); !ok {
+		t.Fatal("re-stash after ack did not re-open the obligation")
+	}
+}

@@ -82,6 +82,14 @@ type Runtime struct {
 	failed map[schedule.Worker]bool
 	iter   int
 
+	// epochBase is each stage's step-epoch stamp captured at iteration
+	// start. The optimizer apply path derives its target epoch from it
+	// (base + op.Iter + 1), so a re-delivered step instruction whose
+	// epoch already advanced is detected as an idempotent no-op. Written
+	// only between iterations (and on mid-iteration rejoin, between
+	// phases); executor goroutines read it without locking.
+	epochBase map[schedule.Worker]int
+
 	mu        sync.Mutex
 	losses    map[nn.MBKey]float64
 	stepped   map[schedule.Worker]int // optimizer steps applied this iteration
@@ -99,8 +107,11 @@ type Runtime struct {
 	lastStarts []int64
 	lastEnds   []int64
 	// lastSpliceEvent is the event ID of the most recent mid-iteration
-	// splice, the key its Program was published under in the plan store.
-	lastSpliceEvent string
+	// splice, the key its Program was published under in the plan store;
+	// lastSpliceEvents lists every splice of the last cascade iteration in
+	// cut order (a single kill yields one entry).
+	lastSpliceEvent  string
+	lastSpliceEvents []string
 
 	// rec receives one span per interpreted instruction plus the
 	// iteration/kill/splice lifecycle stream (obs.Nop by default). Installed
@@ -183,6 +194,13 @@ func (rt *Runtime) Rejoin(w schedule.Worker) error {
 		copy(dstP[i].Grad.Data, srcP[i].Grad.Data)
 	}
 	dst.Reset()
+	// The copied parameters carry the donor's step-epoch stamp — restore
+	// it (and the captured base, when re-joining mid-iteration) so the
+	// rejoiner's own optimizer instructions compute the right target.
+	dst.SetStepEpoch(src.StepEpoch())
+	if rt.epochBase != nil {
+		rt.epochBase[w] = src.StepEpoch()
+	}
 	rt.opts[w] = rt.newOptimizer()
 	if a, ok := rt.opts[donor].(*nn.AdamW); ok {
 		rt.opts[w].(*nn.AdamW).CopyStateFrom(a, srcP, dstP)
@@ -274,6 +292,7 @@ func (rt *Runtime) RunIteration() (float64, error) {
 	r := newRouter()
 	r.rec = rt.rec
 	board := newDepBoard(len(prog.Instrs))
+	rt.captureEpochBase()
 	rt.losses = make(map[nn.MBKey]float64)
 	rt.stepped = make(map[schedule.Worker]int)
 
@@ -315,6 +334,7 @@ func (rt *Runtime) finish(prog *schedule.Program, board *depBoard, r *router, va
 			for i := 0; i < steps; i++ {
 				rt.opts[w].Rollback(rt.stages[w].Params())
 			}
+			rt.stages[w].RegressStepEpoch(steps)
 		}
 		for w, st := range rt.stages {
 			if !rt.failed[w] {
@@ -361,9 +381,9 @@ func maxEnd(ends []int64) int64 {
 // RunIterationRejoin executes one training iteration during which the
 // failed worker w re-joins mid-iteration, at logical slot cutSlot — the
 // live-runtime half of the replay subsystem's splice path. See
-// runSplicedIteration for the two-phase mechanics.
+// runCascadeIteration for the phased mechanics.
 func (rt *Runtime) RunIterationRejoin(w schedule.Worker, cutSlot int64) (float64, error) {
-	return rt.runSplicedIteration(cutSlot, nil, []schedule.Worker{w})
+	return rt.runCascadeIteration([]CascadeEvent{{Cut: cutSlot, Rejoin: []schedule.Worker{w}}})
 }
 
 // RunIterationFailure executes one training iteration during which the
@@ -376,7 +396,26 @@ func (rt *Runtime) RunIterationRejoin(w schedule.Worker, cutSlot int64) (float64
 // already consumed from the router's send stash. The victims stay failed
 // afterward (Rejoin brings them back at a later boundary or splice).
 func (rt *Runtime) RunIterationFailure(victims []schedule.Worker, cutSlot int64) (float64, error) {
-	loss, err := rt.runSplicedIteration(cutSlot, victims, nil)
+	return rt.RunIterationCascade([]CascadeEvent{{Cut: cutSlot, Fail: victims}})
+}
+
+// CascadeEvent is one membership event of a cascading mid-iteration
+// failure sequence: workers in Fail die at Cut, workers in Rejoin are
+// restored at it. Events are applied in order at strictly increasing cuts.
+type CascadeEvent struct {
+	Cut    int64
+	Fail   []schedule.Worker
+	Rejoin []schedule.Worker
+}
+
+// RunIterationCascade executes one training iteration through a chain of
+// mid-iteration membership events — a second (or Nth) kill arriving while
+// an earlier splice's suffix is still executing. Each event re-splices the
+// in-flight spliced Program via replay.LiveSplice, carrying the frozen
+// prefix forward, and republishes the new artifact; any error ships the
+// flight recorder's forensic timeline when one is attached.
+func (rt *Runtime) RunIterationCascade(events []CascadeEvent) (float64, error) {
+	loss, err := rt.runCascadeIteration(events)
 	if err != nil {
 		// Ship the black box with the failure: when a flight recorder is
 		// attached (dtrain.Chaos always attaches one), its retained records
@@ -388,26 +427,45 @@ func (rt *Runtime) RunIterationFailure(victims []schedule.Worker, cutSlot int64)
 	return loss, err
 }
 
-// runSplicedIteration executes one training iteration around a
-// mid-iteration membership event at logical slot cutSlot: workers in fail
-// die at the cut, workers in rejoin are restored at it. The iteration runs
-// in two phases around one shared router: first the executed prefix of the
-// pre-event Program (exactly the instructions the DES predicts complete by
-// the cut — agreement by construction makes that the runtime's own
-// prefix), with every cross-worker payload stashed by the re-send
-// protocol; then, after victims are marked failed, invalidated effects are
-// discarded and rejoining workers restored, the suffix of the
-// replay.LiveSplice Program, whose re-executed instructions replay any
-// already-consumed tensors from the stash.
-func (rt *Runtime) runSplicedIteration(cutSlot int64, fail, rejoin []schedule.Worker) (float64, error) {
-	for _, w := range rejoin {
-		if !rt.failed[w] {
-			return 0, fmt.Errorf("dtrain: worker %s is not failed", w)
-		}
+// runCascadeIteration executes one training iteration around an ordered
+// chain of mid-iteration membership events. The iteration runs in
+// len(events)+1 phases around one shared router: before each event, the
+// executed prefix of the in-flight Program (exactly the instructions the
+// DES predicts complete by that cut — agreement by construction makes
+// that the runtime's own prefix), with every cross-worker payload stashed
+// by the re-send protocol; then victims are marked failed, invalidated
+// effects discarded, rejoining workers restored, and the next phase
+// interprets the re-spliced Program, whose re-executed instructions
+// replay any already-consumed tensors from the stash. Only the final
+// phase's boundary acknowledges the iteration's stashes: a suffix an
+// earlier splice planned can be re-lost by a later kill, so no stash is
+// GC'd while a cascade is still in flight.
+func (rt *Runtime) runCascadeIteration(events []CascadeEvent) (float64, error) {
+	if len(events) == 0 {
+		return 0, fmt.Errorf("dtrain: cascade needs at least one membership event")
 	}
-	for _, w := range fail {
-		if rt.failed[w] {
-			return 0, fmt.Errorf("dtrain: worker %s is already failed", w)
+	// Validate the chain upfront against the evolving membership.
+	failedSim := make(map[schedule.Worker]bool, len(rt.failed))
+	for w := range rt.failed {
+		failedSim[w] = true
+	}
+	var prevCut int64
+	for _, ev := range events {
+		if ev.Cut <= prevCut {
+			return 0, fmt.Errorf("dtrain: cascade cuts must be strictly increasing, got %d after %d", ev.Cut, prevCut)
+		}
+		prevCut = ev.Cut
+		for _, w := range ev.Rejoin {
+			if !failedSim[w] {
+				return 0, fmt.Errorf("dtrain: worker %s is not failed", w)
+			}
+			delete(failedSim, w)
+		}
+		for _, w := range ev.Fail {
+			if failedSim[w] {
+				return 0, fmt.Errorf("dtrain: worker %s is already failed", w)
+			}
+			failedSim[w] = true
 		}
 	}
 	prog, err := rt.Program()
@@ -418,19 +476,9 @@ func (rt *Runtime) runSplicedIteration(cutSlot int64, fail, rejoin []schedule.Wo
 	if cm := rt.eng.CostModel(); cm != nil {
 		costs = cm.Fn()
 	}
-	lv, err := replay.LiveSplice(replay.LiveEvent{
-		Prog: prog, Cut: cutSlot, Fail: fail, Rejoin: rejoin, Costs: costs,
-	})
-	if err != nil {
-		return 0, err
-	}
-	cutEx, spl := lv.CutExec, lv.Spliced
-	if rt.rec.Enabled() {
-		rt.rec.BeginProgram(fmt.Sprintf("iter%d/pre-splice", rt.iter), prog)
-		rt.rec.Event(obs.Event{Kind: obs.EvIterStart, At: 0, Iter: rt.iter, Wall: time.Now()})
-	}
-	rt.publishSplice(cutSlot, fail, rejoin, spl.Program)
 
+	rt.captureEpochBase()
+	rt.lastSpliceEvents = nil
 	r := newRouter()
 	r.rec = rt.rec
 	rt.losses = make(map[nn.MBKey]float64)
@@ -442,128 +490,179 @@ func (rt *Runtime) runSplicedIteration(cutSlot int64, fail, rejoin []schedule.Wo
 		}
 		return preds[wk]
 	}
-	valErrs := make(chan error, rt.Cfg.DP*rt.Cfg.PP*2)
+	valErrs := make(chan error, rt.Cfg.DP*rt.Cfg.PP*(len(events)+1))
 	var wg sync.WaitGroup
 
-	// Phase 1: the executed prefix of the pre-event Program (per-worker
-	// stream prefixes; messages to post-event consumers buffer in the
-	// router). Victims execute their prefixes too — they were alive until
-	// the cut, and the sends they performed are exactly what the stash
-	// must hold when the kill lands.
-	board1 := newDepBoard(len(prog.Instrs))
-	for _, wk := range prog.Workers() {
-		stream := prog.Streams[wk]
-		n := 0
-		for n < len(stream) && cutEx.End[stream[n]] >= 0 {
-			n++
-		}
-		if n == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(wk schedule.Worker, ids []int, pd map[nn.MBKey]*tensor.Matrix) {
-			defer wg.Done()
-			if err := rt.execOps(wk, prog, board1, r, ids, 0, pd); err != nil {
-				valErrs <- err
+	// cur/done/floors track the in-flight artifact across splices: the
+	// Program being interpreted, its already-executed stream prefixes (by
+	// completion time) and the per-worker release floors of the last
+	// re-plan.
+	cur := prog
+	var done map[int]int64
+	var floors map[schedule.Worker]int64
+
+	// runPhase interprets the not-yet-done part of every worker's stream
+	// of cur, clipped by keep (nil keeps everything remaining), on a dep
+	// board seeded with the done prefix so cross-phase edges resolve.
+	runPhase := func(keep func(id int) bool) *depBoard {
+		board := newDepBoard(len(cur.Instrs))
+		maxDone := make(map[schedule.Worker]int64, len(done))
+		for id, end := range done {
+			board.post(id, end-cur.DurOf(id), end)
+			if w := cur.Instrs[id].Op.Worker(); end > maxDone[w] {
+				maxDone[w] = end
 			}
-		}(wk, stream[:n], predsOf(wk))
-	}
-	wg.Wait()
-	if len(valErrs) > 0 {
-		return rt.finish(prog, board1, r, valErrs)
+			if rt.rec.Enabled() {
+				// Frozen prefix spans make each post-splice segment tile the
+				// full iteration makespan on its own (the CriticalPath
+				// invariant).
+				ins := cur.Instrs[id]
+				rt.rec.Span(obs.Span{Instr: id, Op: ins.Op, Deps: ins.Deps,
+					Sched: end - cur.DurOf(id), Start: end - cur.DurOf(id), End: end,
+					Modeled: cur.DurOf(id), Frozen: true})
+			}
+		}
+		for _, wk := range cur.Workers() {
+			ids := cur.Streams[wk]
+			for len(ids) > 0 {
+				if _, isDone := done[ids[0]]; !isDone {
+					break
+				}
+				ids = ids[1:]
+			}
+			if keep != nil {
+				n := 0
+				for n < len(ids) && keep(ids[n]) {
+					n++
+				}
+				ids = ids[:n]
+			}
+			if len(ids) == 0 {
+				continue
+			}
+			// The worker resumes at its release floor, or later when a
+			// frozen prefix op of its own ran past the cut.
+			clock := floors[wk]
+			if maxDone[wk] > clock {
+				clock = maxDone[wk]
+			}
+			wg.Add(1)
+			go func(wk schedule.Worker, ids []int, clock int64, pd map[nn.MBKey]*tensor.Matrix) {
+				defer wg.Done()
+				if err := rt.execOps(wk, cur, board, r, ids, clock, pd); err != nil {
+					valErrs <- err
+				}
+			}(wk, ids, clock, predsOf(wk))
+		}
+		wg.Wait()
+		return board
 	}
 
-	if rt.rec.Enabled() {
-		// The membership event lands at the cut: kills and rejoins first,
-		// then the splice record with the re-plan's structural counters.
-		now := time.Now()
-		for _, w := range fail {
-			rt.rec.Event(obs.Event{Kind: obs.EvKill, At: cutSlot, Iter: rt.iter, Wall: now, Worker: w, HasWorker: true})
-		}
-		for _, w := range rejoin {
-			rt.rec.Event(obs.Event{Kind: obs.EvRejoin, At: cutSlot, Iter: rt.iter, Wall: now, Worker: w, HasWorker: true})
-		}
-		rt.rec.Event(obs.Event{Kind: obs.EvSplice, At: cutSlot, Iter: rt.iter, Wall: now,
-			Detail: rt.lastSpliceEvent,
-			Attrs: []obs.Attr{
-				{Key: "replanned", Val: int64(spl.SuffixOps)},
-				{Key: "rerouted", Val: int64(spl.ReroutedOps)},
-				{Key: "migrated", Val: int64(spl.MigratedTriples)},
-				{Key: "lost-slots", Val: spl.LostSlots},
-			}})
-	}
-	// The event lands now. Victims die with their materialized state —
-	// activation stashes and weight-gradient stores on their stage objects
-	// are unreachable; only their router-stashed sends survive, because
-	// the stash is coordinator-visible shared memory.
-	for _, w := range fail {
-		rt.Fail(w)
-	}
-	// Surviving peers discard the effects of completed instructions whose
-	// provenance died (the LiveSplice lost cascade): the suffix re-executes
-	// them, and the duplicate guards on Forward/BackwardWeight would
-	// otherwise trip on the stale first copy.
-	for _, id := range lv.Lost {
-		op := prog.Instrs[id].Op
-		w := op.Worker()
-		if rt.failed[w] {
-			continue // died with the worker; live peers re-derive it
-		}
-		key := nn.MBKey{Pipeline: op.Home, MB: op.MB}
-		switch op.Type {
-		case schedule.F:
-			rt.stages[w].DiscardStash(key)
-		case schedule.B, schedule.BWeight:
-			rt.stages[w].DiscardGrad(key)
-		}
-	}
-	// A re-joining worker's parameters and optimizer state are restored
-	// from a live data-parallel peer now — at the splice instant, not the
-	// iteration boundary (§3.4, pulled forward).
-	for _, w := range rejoin {
-		if err := rt.Rejoin(w); err != nil {
+	for ei, ev := range events {
+		lv, err := replay.LiveSplice(replay.LiveEvent{
+			Prog: cur, Cut: ev.Cut, Fail: ev.Fail, Rejoin: ev.Rejoin,
+			Costs: costs, Release: floors, Done: done,
+		})
+		if err != nil {
 			return 0, err
 		}
+		if rt.rec.Enabled() {
+			label := "pre-splice"
+			if ei > 0 {
+				label = fmt.Sprintf("mid-splice-%d", ei)
+			}
+			rt.rec.BeginProgram(fmt.Sprintf("iter%d/%s", rt.iter, label), cur)
+			if ei == 0 {
+				rt.rec.Event(obs.Event{Kind: obs.EvIterStart, At: 0, Iter: rt.iter, Wall: time.Now()})
+			}
+		}
+		rt.publishSplice(ev.Cut, ev.Fail, ev.Rejoin, lv.Program)
+
+		// Interpret the executed prefix of this event: victims execute
+		// their prefixes too — they were alive until the cut, and the
+		// sends they performed are exactly what the stash must hold when
+		// the kill lands.
+		board := runPhase(func(id int) bool { return lv.CutExec.End[id] >= 0 })
+		if len(valErrs) > 0 {
+			return rt.finish(cur, board, r, valErrs)
+		}
+
+		if rt.rec.Enabled() {
+			// The membership event lands at the cut: kills and rejoins
+			// first, then the splice record with the re-plan's structural
+			// counters.
+			now := time.Now()
+			for _, w := range ev.Fail {
+				rt.rec.Event(obs.Event{Kind: obs.EvKill, At: ev.Cut, Iter: rt.iter, Wall: now, Worker: w, HasWorker: true})
+			}
+			for _, w := range ev.Rejoin {
+				rt.rec.Event(obs.Event{Kind: obs.EvRejoin, At: ev.Cut, Iter: rt.iter, Wall: now, Worker: w, HasWorker: true})
+			}
+			rt.rec.Event(obs.Event{Kind: obs.EvSplice, At: ev.Cut, Iter: rt.iter, Wall: now,
+				Detail: rt.lastSpliceEvent,
+				Attrs: []obs.Attr{
+					{Key: "replanned", Val: int64(lv.SuffixOps)},
+					{Key: "rerouted", Val: int64(lv.ReroutedOps)},
+					{Key: "migrated", Val: int64(lv.MigratedTriples)},
+					{Key: "lost-slots", Val: lv.LostSlots},
+				}})
+		}
+		// The event lands now. Victims die with their materialized state —
+		// activation stashes and weight-gradient stores on their stage
+		// objects are unreachable; only their router-stashed sends survive,
+		// because the stash is coordinator-visible shared memory.
+		for _, w := range ev.Fail {
+			rt.Fail(w)
+		}
+		// Surviving peers discard the effects of completed instructions
+		// whose provenance died (the LiveSplice lost cascade): the suffix
+		// re-executes them, and the duplicate guards on
+		// Forward/BackwardWeight would otherwise trip on the stale first
+		// copy. Stepped stages are never in the cascade — their update is
+		// durable and the step-epoch stamp keeps it idempotent.
+		for _, id := range lv.Lost {
+			op := cur.Instrs[id].Op
+			w := op.Worker()
+			if rt.failed[w] {
+				continue // died with the worker; live peers re-derive it
+			}
+			key := nn.MBKey{Pipeline: op.Home, MB: op.MB}
+			switch op.Type {
+			case schedule.F:
+				rt.stages[w].DiscardStash(key)
+			case schedule.B, schedule.BWeight:
+				rt.stages[w].DiscardGrad(key)
+			}
+		}
+		// A re-joining worker's parameters and optimizer state are restored
+		// from a live data-parallel peer now — at the splice instant, not
+		// the iteration boundary (§3.4, pulled forward).
+		for _, w := range ev.Rejoin {
+			if err := rt.Rejoin(w); err != nil {
+				return 0, err
+			}
+		}
+		cur, done, floors = lv.Program, lv.Done, lv.Floors
 	}
 
-	// Phase 2: the spliced Program's re-planned suffix, its dep board
-	// seeded with the prefix spans so cross-event edges resolve.
+	// Final phase: the last splice's re-planned suffix runs to the
+	// iteration boundary; finish is the only place the cascade's stashes
+	// are acknowledged.
 	if rt.rec.Enabled() {
-		rt.rec.BeginProgram(fmt.Sprintf("iter%d/post-splice", rt.iter), spl.Program)
+		rt.rec.BeginProgram(fmt.Sprintf("iter%d/post-splice", rt.iter), cur)
 	}
-	board2 := newDepBoard(len(spl.Program.Instrs))
-	for id, end := range spl.Done {
-		board2.post(id, end-spl.Program.DurOf(id), end)
-		if rt.rec.Enabled() {
-			// Frozen prefix spans make the post-splice segment tile the full
-			// iteration makespan on its own (the CriticalPath invariant).
-			ins := spl.Program.Instrs[id]
-			rt.rec.Span(obs.Span{Instr: id, Op: ins.Op, Deps: ins.Deps,
-				Sched: end - spl.Program.DurOf(id), Start: end - spl.Program.DurOf(id), End: end,
-				Modeled: spl.Program.DurOf(id), Frozen: true})
-		}
+	board := runPhase(nil)
+	return rt.finish(cur, board, r, valErrs)
+}
+
+// captureEpochBase snapshots every stage's step-epoch stamp at iteration
+// start — the base the optimizer apply path derives its per-instruction
+// target epochs from.
+func (rt *Runtime) captureEpochBase() {
+	rt.epochBase = make(map[schedule.Worker]int, len(rt.stages))
+	for w, st := range rt.stages {
+		rt.epochBase[w] = st.StepEpoch()
 	}
-	for _, wk := range spl.Program.Workers() {
-		ids := spl.Program.Streams[wk]
-		for len(ids) > 0 {
-			if _, isDone := spl.Done[ids[0]]; !isDone {
-				break
-			}
-			ids = ids[1:]
-		}
-		if len(ids) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(wk schedule.Worker, ids []int, pd map[nn.MBKey]*tensor.Matrix) {
-			defer wg.Done()
-			if err := rt.execOps(wk, spl.Program, board2, r, ids, spl.Floors[wk], pd); err != nil {
-				valErrs <- err
-			}
-		}(wk, ids, predsOf(wk))
-	}
-	wg.Wait()
-	return rt.finish(spl.Program, board2, r, valErrs)
 }
 
 // publishSplice records the splice event and replicates the freshly
@@ -575,6 +674,7 @@ func (rt *Runtime) runSplicedIteration(cutSlot int64, fail, rejoin []schedule.Wo
 func (rt *Runtime) publishSplice(cut int64, fail, rejoin []schedule.Worker, p *schedule.Program) {
 	event := SpliceEventID(rt.iter, cut, fail, rejoin)
 	rt.lastSpliceEvent = event
+	rt.lastSpliceEvents = append(rt.lastSpliceEvents, event)
 	if rt.progSrc != nil {
 		return
 	}
@@ -610,6 +710,20 @@ func SpliceEventID(iter int, cut int64, fail, rejoin []schedule.Worker) string {
 // splice this runtime performed ("" before the first) — the key its
 // spliced Program was published under.
 func (rt *Runtime) LastSpliceEvent() string { return rt.lastSpliceEvent }
+
+// SpliceEvents returns the event IDs of every splice of the last cascade
+// iteration, in cut order — one entry per CascadeEvent, each the key its
+// re-spliced Program was published under.
+func (rt *Runtime) SpliceEvents() []string {
+	return append([]string(nil), rt.lastSpliceEvents...)
+}
+
+// StageStepEpoch returns a worker replica's step-epoch stamp — the number
+// of optimizer steps its parameters carry (the live half of the
+// live-vs-DES epoch agreement check).
+func (rt *Runtime) StageStepEpoch(w schedule.Worker) int {
+	return rt.stages[w].StepEpoch()
+}
 
 // iterationLoss reduces per-micro-batch losses in canonical order.
 func (rt *Runtime) iterationLoss() float64 {
@@ -773,6 +887,21 @@ func (rt *Runtime) execOps(w schedule.Worker, prog *schedule.Program, board *dep
 // broadcasts the reduced gradients, and every peer then applies an
 // identical optimizer step followed by local post-step validation.
 func (rt *Runtime) allReduceAndStep(w schedule.Worker, st *nn.Stage, iter int, r *router, record func(schedule.OpType, time.Duration)) error {
+	// The step-epoch guard: a re-delivered step instruction whose target
+	// epoch the stage's parameters already carry is an idempotent no-op —
+	// recorded, and skipping the whole rendezvous, since a stepped stage's
+	// gradient stores were drained when the step first applied. All DP
+	// peers of a stepped stage share the advanced epoch, so the skip is
+	// consistent across the rendezvous group.
+	target := rt.epochBase[w] + iter + 1
+	if st.StepEpoch() >= target {
+		if rt.rec.Enabled() {
+			rt.rec.Event(obs.Event{Kind: obs.EvStepNoop, At: -1, Iter: iter, Wall: time.Now(),
+				Worker: w, HasWorker: true,
+				Detail: fmt.Sprintf("epoch %d already covers target %d", st.StepEpoch(), target)})
+		}
+		return nil
+	}
 	var peers []int
 	for k := 0; k < rt.Cfg.DP; k++ {
 		if !rt.failed[schedule.Worker{Stage: w.Stage, Pipeline: k}] {
@@ -824,10 +953,13 @@ func (rt *Runtime) allReduceAndStep(w schedule.Worker, st *nn.Stage, iter int, r
 			copy(params[i].Grad.Data, g.Data)
 		}
 	}
-	rt.opts[w].Step(st.Params())
-	rt.mu.Lock()
-	rt.stepped[w]++
-	rt.mu.Unlock()
+	// Apply through the step-epoch stamp: the parameters advance to the
+	// target epoch exactly once, making any later re-delivery a no-op.
+	if st.StepOnce(rt.opts[w], target) {
+		rt.mu.Lock()
+		rt.stepped[w]++
+		rt.mu.Unlock()
+	}
 	return nn.ValidateFinite(st.Params())
 }
 

@@ -36,6 +36,11 @@ type Stage struct {
 	// in Params() order) until the all-reduce collects them — the
 	// WeightGradStore of the DeepSpeed implementation.
 	store map[MBKey][]*tensor.Matrix
+	// epoch counts the optimizer steps applied to this replica's
+	// parameters — the PipeDream-style version stamp that makes step
+	// re-execution idempotent. A re-delivered step whose target epoch the
+	// stamp already reached is a no-op (StepOnce).
+	epoch int
 }
 
 // NewStage wraps layers into a stage.
@@ -157,6 +162,37 @@ func (s *Stage) DiscardGrad(key MBKey) { delete(s.store, key) }
 // this iteration's backward work, so the stashes are garbage.
 func (s *Stage) ReleaseStashes() {
 	s.stashes = make(map[MBKey][]*Stash)
+}
+
+// StepEpoch returns the number of optimizer steps applied to this
+// replica's parameters — the version stamp checked in the optimizer apply
+// path.
+func (s *Stage) StepEpoch() int { return s.epoch }
+
+// SetStepEpoch overwrites the step-epoch stamp; used when a re-joining
+// replica copies a donor's parameters, which carry the donor's epoch.
+func (s *Stage) SetStepEpoch(e int) { s.epoch = e }
+
+// StepOnce applies the optimizer step exactly once per target epoch: if
+// the stamp already reached target the parameters are left untouched and
+// StepOnce reports false (the idempotent no-op of a re-executed step);
+// otherwise the step is applied and the stamp advances to target.
+func (s *Stage) StepOnce(opt Optimizer, target int) bool {
+	if s.epoch >= target {
+		return false
+	}
+	opt.Step(s.Params())
+	s.epoch = target
+	return true
+}
+
+// RegressStepEpoch walks the stamp back n steps — the epoch half of an
+// iteration rollback, paired with the optimizer's Rollback calls.
+func (s *Stage) RegressStepEpoch(n int) {
+	s.epoch -= n
+	if s.epoch < 0 {
+		s.epoch = 0
+	}
 }
 
 // StoreLen returns how many micro-batch gradient contributions sit in the

@@ -204,6 +204,20 @@ type Window struct {
 	Idle     map[schedule.Worker]int64
 }
 
+// SpliceCuts extracts the cut instants of every splice event, in arrival
+// order — the input that chains a cascade's repeated splices into one
+// SpliceWindows partition of the final timeline (a 2-kill cascade yields
+// two cuts and three windows).
+func SpliceCuts(events []Event) []int64 {
+	var cuts []int64
+	for _, e := range events {
+		if e.Kind == EvSplice {
+			cuts = append(cuts, e.At)
+		}
+	}
+	return cuts
+}
+
 // SpliceWindows partitions [0, makespan] at the given cut instants and
 // reports per-worker idle time inside each window — where bubbles opened
 // before and after a mid-iteration splice. Cuts outside (0, makespan) are

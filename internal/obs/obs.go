@@ -80,6 +80,10 @@ const (
 	EvWarm
 	EvRecalibrate
 	EvPublish
+	// EvStepNoop marks a re-delivered optimizer step skipped by the
+	// step-epoch stamp: the stage's parameters already carry the target
+	// epoch, so the re-execution is an idempotent no-op.
+	EvStepNoop
 )
 
 // String implements fmt.Stringer.
@@ -115,6 +119,8 @@ func (k EventKind) String() string {
 		return "recalibrate"
 	case EvPublish:
 		return "publish"
+	case EvStepNoop:
+		return "step-noop"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int8(k))
 	}

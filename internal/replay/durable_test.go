@@ -1,0 +1,115 @@
+package replay
+
+import (
+	"testing"
+
+	"recycle/internal/engine"
+	"recycle/internal/schedule"
+	"recycle/internal/sim"
+)
+
+// TestLiveSpliceDurableEpilogueKill cuts a healthy iteration inside the
+// all-reduce epilogue — after one stage's optimizer group has fully
+// completed but before the iteration drains — with a victim in the stepped
+// stage. LiveSplice runs with durable steps, so the kill must succeed, the
+// victim's applied step must stay frozen at its executed time instead of
+// joining the lost cascade, and no instruction of the stepped group may be
+// re-executed. The same cut through the plain Splice (DurableSteps off,
+// the trace replayer's historical semantics) must instead lose the
+// victim's completed step with its dependents.
+func TestLiveSpliceDurableEpilogueKill(t *testing.T) {
+	job, stats := engine.ShapeJob(2, 2, 4)
+	eng := engine.New(job, stats, engine.Options{UnrollIterations: 1})
+	prog := mustProgram(t, eng, nil)
+	full, err := sim.ExecuteProgram(prog, sim.ProgramOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut exactly when the earliest stage's optimizer group completes: its
+	// step is durable, the other stage's work is still in flight.
+	groupEnd := map[int]int64{}
+	for i := range prog.Instrs {
+		op := prog.Instrs[i].Op
+		if op.Type != schedule.Optimizer {
+			continue
+		}
+		if e := full.End[i]; e > groupEnd[op.Stage] {
+			groupEnd[op.Stage] = e
+		}
+	}
+	stage, cut := -1, int64(0)
+	for s, e := range groupEnd {
+		if stage < 0 || e < cut {
+			stage, cut = s, e
+		}
+	}
+	if cut >= full.Makespan {
+		t.Fatalf("cut %d is not mid-iteration (makespan %d)", cut, full.Makespan)
+	}
+	victim := schedule.Worker{Stage: stage, Pipeline: 1}
+	var steppedOpt []int // the stepped group's instruction IDs
+	victimOpt := -1
+	for i := range prog.Instrs {
+		op := prog.Instrs[i].Op
+		if op.Type == schedule.Optimizer && op.Stage == stage {
+			steppedOpt = append(steppedOpt, i)
+			if op.Worker() == victim {
+				victimOpt = i
+			}
+		}
+	}
+	if victimOpt < 0 {
+		t.Fatal("victim has no optimizer instruction")
+	}
+
+	lv, err := LiveSplice(LiveEvent{Prog: prog, Cut: cut, Fail: []schedule.Worker{victim}})
+	if err != nil {
+		t.Fatalf("epilogue-cut LiveSplice: %v", err)
+	}
+	if !lv.Failed[victim] {
+		t.Fatal("victim not in the post-event failed set")
+	}
+	lost := make(map[int]bool, len(lv.Lost))
+	for _, id := range lv.Lost {
+		lost[id] = true
+	}
+	for _, id := range steppedOpt {
+		if lost[id] {
+			t.Errorf("stepped group's optimizer instr %d joined the lost cascade under durable steps", id)
+		}
+	}
+	// The victim's applied step stays frozen at its executed time, even
+	// though the victim is failed after the event.
+	frozen := false
+	for _, p := range lv.Schedule.Placements {
+		if p.Op.Type == schedule.Optimizer && p.Op.Worker() == victim {
+			if p.End > cut {
+				t.Errorf("victim's durable step re-placed to end at %d, after the cut %d", p.End, cut)
+			}
+			frozen = true
+		}
+	}
+	if !frozen {
+		t.Error("victim's durable step vanished from the spliced schedule")
+	}
+
+	// Historical semantics (DurableSteps off): the same cut loses the
+	// victim's completed step.
+	spl, err := Splice(SpliceInput{
+		Prog: prog, Starts: lv.CutExec.Start, Ends: lv.CutExec.End,
+		Cut: cut, Fail: []schedule.Worker{victim},
+	})
+	if err != nil {
+		t.Fatalf("legacy epilogue-cut Splice: %v", err)
+	}
+	legacyLost := false
+	for _, id := range spl.LostIDs {
+		if id == victimOpt {
+			legacyLost = true
+		}
+	}
+	if !legacyLost {
+		t.Error("legacy splice kept the victim's completed step out of the lost cascade")
+	}
+}

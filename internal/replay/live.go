@@ -27,6 +27,12 @@ type LiveEvent struct {
 	Costs schedule.CostFunc
 	// Release floors per-worker re-planned start times (see SpliceInput).
 	Release map[schedule.Worker]int64
+	// Done carries the frozen prefix of an earlier splice when this event
+	// is the second (or Nth) kill of a cascade: Prog is itself a spliced
+	// Program, and Done maps its already-executed instruction IDs to their
+	// completion times so the cut execution resumes instead of replaying
+	// from zero. Nil for a first event.
+	Done map[int]int64
 }
 
 // LiveSpliced is a Spliced plus the live-resumption bookkeeping: the cut
@@ -43,24 +49,22 @@ type LiveSpliced struct {
 	// dying worker, plus every completed dependent (the Splice cascade).
 	// For IDs executed on live workers, the runtime must discard the
 	// materialized effect (activation stash, weight-gradient entry) so
-	// the re-executed suffix can regenerate it.
+	// the re-executed suffix can regenerate it. Instructions of stepped
+	// (iter, stage) groups — optimizer fully applied before the cut — are
+	// never lost: the all-reduce made the step durable on every live peer
+	// and the group's outbound payloads survive in the re-send stash.
 	Lost []int
 }
 
 // LiveSplice reconstructs the executed prefix of a live Program at an
-// event instant via the DES, applies the guards that make the splice
+// event instant via the DES, applies the guard that makes the splice
 // interpretable by the live runtime, and returns the spliced artifact
-// with the discard list. Two guards beyond Splice's own:
-//
-//   - No stage's optimizer step may straddle the cut (a phase-1 all-reduce
-//     root would block on a phase-2 contribution).
-//   - When workers die (Fail non-empty), no optimizer step at all may have
-//     completed before the cut: a completed step on a live worker can sit
-//     in the lost cascade, and re-executing it would double-apply the
-//     update. The live harness clamps its kill instants below the first
-//     optimizer start, which the paper's model also assumes — a failure
-//     during the all-reduce epilogue is handled as an iteration-boundary
-//     failure instead.
+// with the discard list. One guard beyond Splice's own: no stage's
+// optimizer step may straddle the cut (a phase-1 all-reduce root would
+// block on a phase-2 contribution). Kills after a stage's step completed
+// are fine — the splice runs with durable steps, freezing the stepped
+// group in the prefix, and the live runtime's step-epoch stamp keeps any
+// re-delivered step idempotent.
 func LiveSplice(in LiveEvent) (*LiveSpliced, error) {
 	if in.Prog == nil {
 		return nil, fmt.Errorf("replay: cannot live-splice a nil program")
@@ -68,7 +72,7 @@ func LiveSplice(in LiveEvent) (*LiveSpliced, error) {
 	if in.Cut < 1 {
 		return nil, fmt.Errorf("replay: live-splice cut slot %d must be >= 1", in.Cut)
 	}
-	opts := sim.ProgramOptions{CutAt: in.Cut}
+	opts := sim.ProgramOptions{CutAt: in.Cut, Done: in.Done, ReleaseAt: in.Release}
 	if len(in.Fail) > 0 {
 		opts.FailAt = make(map[schedule.Worker]int64, len(in.Fail))
 		for _, w := range in.Fail {
@@ -100,62 +104,15 @@ func LiveSplice(in LiveEvent) (*LiveSpliced, error) {
 			return nil, fmt.Errorf("replay: cut %d splits stage %d's optimizer across the event; splice before the stage's all-reduce", in.Cut, k.stage)
 		}
 	}
-	if len(in.Fail) > 0 && len(optDone) > 0 {
-		return nil, fmt.Errorf("replay: cut %d lands after an optimizer step completed; a mid-iteration kill there would double-step — treat it as an iteration-boundary failure", in.Cut)
-	}
 
 	spl, err := Splice(SpliceInput{
 		Prog: p, Starts: cutEx.Start, Ends: cutEx.End,
 		Cut: in.Cut, Fail: in.Fail, Rejoin: in.Rejoin,
 		Costs: in.Costs, Release: in.Release,
+		DurableSteps: true,
 	})
 	if err != nil {
 		return nil, err
 	}
-
-	// Recompute the lost cascade Splice ran internally (it only exposes
-	// counts): completed work on dying workers plus completed dependents,
-	// by ID in the *original* program — the coordinate system the live
-	// runtime's materialized effects are keyed in.
-	out := &LiveSpliced{Spliced: spl, CutExec: cutEx}
-	if len(in.Fail) > 0 {
-		failSet := make(map[schedule.Worker]bool, len(in.Fail))
-		for _, w := range in.Fail {
-			failSet[w] = true
-		}
-		n := len(p.Instrs)
-		succs := make([][]int, n)
-		for i := range p.Instrs {
-			for _, d := range p.Instrs[i].Deps {
-				succs[d.From] = append(succs[d.From], i)
-			}
-		}
-		lost := make([]bool, n)
-		var queue []int
-		for i := range p.Instrs {
-			if cutEx.End[i] >= 0 && failSet[p.Instrs[i].Op.Worker()] {
-				lost[i] = true
-				queue = append(queue, i)
-			}
-		}
-		for len(queue) > 0 {
-			i := queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
-			for _, j := range succs[i] {
-				if cutEx.End[j] >= 0 && !lost[j] {
-					lost[j] = true
-					queue = append(queue, j)
-				}
-			}
-		}
-		for i := range lost {
-			if lost[i] {
-				out.Lost = append(out.Lost, i)
-			}
-		}
-		if len(out.Lost) != spl.LostOps {
-			return nil, fmt.Errorf("replay: live lost cascade found %d ops, splice accounted %d", len(out.Lost), spl.LostOps)
-		}
-	}
-	return out, nil
+	return &LiveSpliced{Spliced: spl, CutExec: cutEx, Lost: spl.LostIDs}, nil
 }

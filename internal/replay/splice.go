@@ -41,6 +41,17 @@ type SpliceInput struct {
 	// parameter-copy time of a re-joining worker. Workers absent from the
 	// map are released at Cut.
 	Release map[schedule.Worker]int64
+	// DurableSteps marks (iter, stage) groups whose optimizer step fully
+	// completed before the cut as durable: the all-reduce made the update
+	// identical on every live peer and the group's outbound payloads sit
+	// in the re-send stash, so a victim's completed work there is kept
+	// frozen in the prefix instead of joining the lost cascade. This is
+	// what lets a kill land inside the all-reduce epilogue without
+	// double-stepping — the live runtime's step-epoch stamp makes the kept
+	// step idempotent. Off (the default), every completed instruction on a
+	// dying worker seeds the cascade, the trace replayer's historical
+	// model.
+	DurableSteps bool
 }
 
 // Spliced is a validated resumption artifact: the same iteration's work as
@@ -66,6 +77,12 @@ type Spliced struct {
 	// EndSlot is the spliced iteration's completion time (latest placement
 	// end, optimizer included) on the program clock.
 	EndSlot int64
+	// LostIDs lists the input-program instruction IDs of the lost cascade
+	// — completed work on dying workers plus every completed dependent —
+	// in the coordinate system the live runtime's materialized effects are
+	// keyed in. Under DurableSteps, instructions of stepped (iter, stage)
+	// groups are excluded (kept frozen instead).
+	LostIDs []int
 	// PrefixOps counts instructions kept at their executed times; LostOps
 	// and LostSlots measure completed work discarded because its
 	// provenance died (the emergent reconfiguration cost); SuffixOps
@@ -146,6 +163,33 @@ func Splice(in SpliceInput) (*Spliced, error) {
 		return p.Durations.Of(t)
 	}
 
+	// Stepped (iter, stage) groups — every optimizer instruction of the
+	// group completed before the cut. Under DurableSteps these are durable:
+	// the cascade neither seeds from nor propagates into them.
+	stepped := make(map[[2]int]bool)
+	if in.DurableSteps {
+		optTotal, optFired := make(map[[2]int]int), make(map[[2]int]int)
+		for i := range p.Instrs {
+			op := p.Instrs[i].Op
+			if op.Type != schedule.Optimizer {
+				continue
+			}
+			k := [2]int{op.Iter, op.Stage}
+			optTotal[k]++
+			if in.Ends[i] >= 0 {
+				optFired[k]++
+			}
+		}
+		for k, total := range optTotal {
+			if total > 0 && optFired[k] == total {
+				stepped[k] = true
+			}
+		}
+	}
+	durable := func(op schedule.Op) bool {
+		return stepped[[2]int{op.Iter, op.Stage}]
+	}
+
 	// Partition: completed instructions keep their spans, minus the lost
 	// set — work completed on a dying worker plus every completed
 	// dependent of it, found by BFS over the program's dependency edges.
@@ -160,7 +204,7 @@ func Splice(in SpliceInput) (*Spliced, error) {
 	lost := make([]bool, n)
 	var queue []int
 	for i := range p.Instrs {
-		if in.Ends[i] >= 0 && failSet[p.Instrs[i].Op.Worker()] {
+		if in.Ends[i] >= 0 && failSet[p.Instrs[i].Op.Worker()] && !durable(p.Instrs[i].Op) {
 			lost[i] = true
 			queue = append(queue, i)
 		}
@@ -169,7 +213,7 @@ func Splice(in SpliceInput) (*Spliced, error) {
 		i := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		for _, j := range succs[i] {
-			if in.Ends[j] >= 0 && !lost[j] {
+			if in.Ends[j] >= 0 && !lost[j] && !durable(p.Instrs[j].Op) {
 				lost[j] = true
 				queue = append(queue, j)
 			}
@@ -180,6 +224,11 @@ func Splice(in SpliceInput) (*Spliced, error) {
 		Done:   make(map[int]int64),
 		Floors: make(map[schedule.Worker]int64),
 		Failed: newFailed,
+	}
+	for i := range lost {
+		if lost[i] {
+			out.LostIDs = append(out.LostIDs, i)
+		}
 	}
 	type node struct {
 		op       schedule.Op
@@ -475,7 +524,15 @@ func Splice(in SpliceInput) (*Spliced, error) {
 		}
 	}
 	out.Schedule = schedule.New(sh, p.Durations, newFailed, placements)
-	prog, err := schedule.Compile(out.Schedule)
+	// Under DurableSteps the prefix may keep a durable consumer whose
+	// producer is re-placed after the cut; CompileFrozen drops the dead
+	// edges into the frozen prefix so that historical back-edge cannot
+	// close a spurious cycle with same-worker stream order.
+	frozenBefore := int64(0)
+	if in.DurableSteps {
+		frozenBefore = in.Cut
+	}
+	prog, err := schedule.CompileFrozen(out.Schedule, frozenBefore)
 	if err != nil {
 		return nil, fmt.Errorf("replay: spliced schedule does not compile: %w", err)
 	}
@@ -487,7 +544,13 @@ func Splice(in SpliceInput) (*Spliced, error) {
 	}
 	out.PrefixOps = len(prefix)
 	out.SuffixOps = len(suffix)
-	if err := schedule.Validate(out.Schedule, schedule.ValidateConfig{Costs: in.Costs}); err != nil {
+	vcfg := schedule.ValidateConfig{Costs: in.Costs}
+	if in.DurableSteps {
+		// Durable victim work stays frozen in the prefix on its (now
+		// failed) worker; admit exactly those placements and nothing later.
+		vcfg.FrozenBefore = in.Cut
+	}
+	if err := schedule.Validate(out.Schedule, vcfg); err != nil {
 		return nil, fmt.Errorf("replay: spliced schedule fails validation: %w", err)
 	}
 	return out, nil

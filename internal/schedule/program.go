@@ -152,7 +152,18 @@ type opKey struct {
 // dependencies and the per-stage all-reduce barriers are made explicit. The
 // schedule must be complete (every op of every micro-batch placed exactly
 // once); Compile reports schedules it cannot lower.
-func Compile(s *Schedule) (*Program, error) {
+func Compile(s *Schedule) (*Program, error) { return CompileFrozen(s, 0) }
+
+// CompileFrozen lowers a spliced schedule whose executed prefix is frozen:
+// placements ending at or before frozenBefore already ran pre-event, so no
+// dependency edges are attached into them — their inputs were consumed in
+// the pre-splice timeline, and a producer they historically read from may
+// be re-placed after the cut (to re-materialize state a victim lost),
+// which would otherwise put a back-edge into the past and a spurious cycle
+// into the graph. Executors never consult a frozen instruction's edges —
+// the prefix is installed as done — so only dead edges are dropped.
+// frozenBefore <= 0 compiles normally.
+func CompileFrozen(s *Schedule, frozenBefore int64) (*Program, error) {
 	if s == nil {
 		return nil, fmt.Errorf("schedule: cannot compile a nil schedule")
 	}
@@ -215,6 +226,9 @@ func Compile(s *Schedule) (*Program, error) {
 	}
 	// Second pass: attach the explicit dependency edges.
 	for i := range p.Instrs {
+		if frozenBefore > 0 && s.Placements[i].End <= frozenBefore {
+			continue // frozen prefix: executed pre-event, edges are dead
+		}
 		op := p.Instrs[i].Op
 		k := opKey{op.Iter, op.Stage, op.MB, op.Home}
 		switch op.Type {

@@ -20,6 +20,17 @@ type ValidateConfig struct {
 	// solved under a heterogeneous cost model. Nil means every op must
 	// take the schedule's homogeneous Durations.
 	Costs CostFunc
+	// FrozenBefore, when > 0, admits placements on failed workers whose
+	// End does not exceed it: a spliced schedule's frozen prefix keeps a
+	// victim's durable pre-cut work (completed triples whose optimizer
+	// step already applied) at its executed time, even though the worker
+	// is failed in the post-event set. Anything a failed worker would
+	// execute at or after FrozenBefore is still rejected. Frozen
+	// placements are also exempt from dependency-timing checks: they
+	// consumed their inputs in the pre-splice timeline, which validated
+	// when it executed, while a producer they historically read from may
+	// be re-placed after the cut to re-materialize state its victim lost.
+	FrozenBefore int64
 }
 
 // Validate checks a schedule against the MILP constraint set of §4.2.2:
@@ -36,13 +47,16 @@ func Validate(s *Schedule, cfg ValidateConfig) error {
 	type key struct {
 		iter, i, j, k int
 	}
+	frozen := func(p Placement) bool {
+		return cfg.FrozenBefore > 0 && p.End <= cfg.FrozenBefore
+	}
 	fAt := make(map[key]Placement)
 	bInAt := make(map[key]Placement) // BInput or coupled B
 	bWAt := make(map[key]Placement)  // BWeight or coupled B
 	optAt := make(map[Worker][]Placement)
 
 	for _, p := range s.Placements {
-		if s.Failed[p.Op.Worker()] {
+		if s.Failed[p.Op.Worker()] && (cfg.FrozenBefore <= 0 || p.End > cfg.FrozenBefore) {
 			return fmt.Errorf("schedule: op %s placed on failed worker", p.Op)
 		}
 		want := s.Durations.Of(p.Op.Type)
@@ -105,25 +119,25 @@ func Validate(s *Schedule, cfg ValidateConfig) error {
 						return fmt.Errorf("schedule: micro-batch (i=%d j=%d k=%d) split across peers F@%d BI@%d BW@%d", i, j, k, f.Op.Exec, bi.Op.Exec, bw.Op.Exec)
 					}
 					// Eq. 2: forward cross-stage dependency.
-					if i > 0 {
+					if i > 0 && !frozen(f) {
 						prev := fAt[key{it, i - 1, j, k}]
 						if f.Start < prev.End+s.Durations.Comm {
 							return fmt.Errorf("schedule: %s starts at %d before upstream F ends %d (+comm %d)", f.Op, f.Start, prev.End, s.Durations.Comm)
 						}
 					}
 					// Local data dependency: backward needs this stage's stash.
-					if bi.Start < f.End {
+					if !frozen(bi) && bi.Start < f.End {
 						return fmt.Errorf("schedule: %s starts at %d before its F ends %d", bi.Op, bi.Start, f.End)
 					}
 					// Eq. 3: backward cross-stage dependency.
-					if i < s.Shape.PP-1 {
+					if i < s.Shape.PP-1 && !frozen(bi) {
 						next := bInAt[key{it, i + 1, j, k}]
 						if bi.Start < next.End+s.Durations.Comm {
 							return fmt.Errorf("schedule: %s starts at %d before downstream BInput ends %d (+comm %d)", bi.Op, bi.Start, next.End, s.Durations.Comm)
 						}
 					}
 					// Eq. 4: BWeight after BInput.
-					if bw.Op.Type == BWeight && bw.Start < bi.End {
+					if bw.Op.Type == BWeight && !frozen(bw) && bw.Start < bi.End {
 						return fmt.Errorf("schedule: %s starts at %d before BInput ends %d", bw.Op, bw.Start, bi.End)
 					}
 				}

@@ -74,6 +74,22 @@ type Execution struct {
 	Blocked []int
 }
 
+// StepEpochs returns, per worker, the number of optimizer instructions
+// that completed in this execution — the DES-side reading of the live
+// runtime's step-epoch stamp. On a cut execution it counts the steps that
+// became durable before the event; comparing it against the live stages'
+// epoch deltas is the epoch half of the live-vs-DES agreement check.
+func (x *Execution) StepEpochs() map[schedule.Worker]int {
+	out := make(map[schedule.Worker]int)
+	for i := range x.Program.Instrs {
+		op := x.Program.Instrs[i].Op
+		if op.Type == schedule.Optimizer && x.End[i] >= 0 {
+			out[op.Worker()]++
+		}
+	}
+	return out
+}
+
 // ExecuteProgram runs the program's instruction streams in virtual time:
 // each worker executes its stream in order, every instruction starting as
 // soon as its worker is free and its dependency edges are satisfied
